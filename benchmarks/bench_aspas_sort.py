@@ -1,0 +1,60 @@
+"""Single-node sort ablation — the ASPaS claim of Section IV-B.
+
+"Note that even on a single compute node, PaPar is faster, thanks to ASPaS,
+a highly optimized mergesort implementation on multicore processors.  We
+used it in the sort operator implementation."
+
+This bench compares the sort operator's two local kernels (numpy stable
+sort vs the ASPaS-style blocked mergesort) on the muBLASTP index sort, and
+verifies both kernels order the index identically.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import Experiment, shape
+from repro.blast import generate_index
+from repro.core.dataset import Dataset
+from repro.formats import BLAST_INDEX_SCHEMA
+from repro.ops import Sort
+from repro.ops.aspas import aspas_argsort
+
+N = 500_000
+
+
+@pytest.fixture(scope="module")
+def index():
+    return generate_index("env_nr", num_sequences=N, seed=41)
+
+
+def test_numpy_kernel(benchmark, index):
+    keys = index["seq_size"]
+    out = benchmark(np.argsort, keys, kind="stable")
+    assert len(out) == N
+
+
+def test_aspas_kernel(benchmark, index):
+    keys = index["seq_size"]
+    out = benchmark(aspas_argsort, keys)
+    assert len(out) == N
+
+
+def test_kernels_identical_through_sort_operator(benchmark, index, reporter):
+    def run():
+        import time
+
+        exp = Experiment("ASPaS ablation", "Sort operator local kernels on the index sort")
+        ds = Dataset.from_array(BLAST_INDEX_SCHEMA, index)
+        outputs = {}
+        for kernel in ("numpy", "aspas"):
+            op = Sort("seq_size", kernel=kernel)
+            t0 = time.perf_counter()
+            outputs[kernel] = op.apply_local(ds)
+            exp.add(kernel=kernel, sequences=N, seconds=time.perf_counter() - t0)
+        identical = np.array_equal(outputs["numpy"].records, outputs["aspas"].records)
+        exp.note(f"outputs identical: {identical}")
+        return exp, identical
+
+    exp, identical = benchmark.pedantic(run, rounds=1, iterations=1)
+    reporter.record(exp)
+    shape(identical, "both sort kernels produce the identical sorted index")

@@ -1,0 +1,84 @@
+"""Figure 6 / Section III-B ablation — permutation-matrix distribution.
+
+The paper formalizes distribution policies as stride-permutation matrices
+applied by matrix-vector multiplication.  This bench measures the literal
+sparse-matrix form against the O(n) index form (both produce identical
+partitions — tested in tests/policies) and the end-to-end Distribute
+operator under both modes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import Experiment, shape
+from repro.core.dataset import Dataset
+from repro.formats import BLAST_INDEX_SCHEMA
+from repro.ops import Distribute
+from repro.policies import (
+    apply_permutation_matrix,
+    cyclic_permutation_indices,
+    stride_permutation_matrix,
+)
+
+N = 1 << 18
+PARTS = 32
+
+
+@pytest.fixture(scope="module")
+def vector():
+    return np.arange(N, dtype=np.int64)
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return stride_permutation_matrix(N, N // PARTS)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    rng = np.random.default_rng(0)
+    records = np.empty(N // 16, dtype=BLAST_INDEX_SCHEMA.dtype)
+    for name in records.dtype.names:
+        records[name] = rng.integers(0, 1 << 20, size=len(records))
+    return Dataset.from_array(BLAST_INDEX_SCHEMA, records)
+
+
+def test_index_form_kernel(benchmark, vector):
+    perm = benchmark(cyclic_permutation_indices, N, PARTS)
+    assert len(perm) == N
+
+
+def test_matrix_form_kernel(benchmark, vector, matrix):
+    out = benchmark(apply_permutation_matrix, matrix, vector)
+    assert len(out) == N
+
+
+def test_distribute_operator_both_modes(benchmark, dataset, reporter):
+    def run():
+        import time
+
+        exp = Experiment(
+            "Figure 6 ablation", "Distribution as matrix-vector product vs index form"
+        )
+        for use_matrix in (False, True):
+            op = Distribute("cyclic", PARTS, use_matrix=use_matrix)
+            t0 = time.perf_counter()
+            parts = op.apply_local(dataset)
+            elapsed = time.perf_counter() - t0
+            exp.add(
+                mode="matrix-vector" if use_matrix else "index",
+                entries=len(dataset),
+                partitions=len(parts),
+                seconds=elapsed,
+            )
+        matrix_parts = Distribute("cyclic", PARTS, use_matrix=True).apply_local(dataset)
+        index_parts = Distribute("cyclic", PARTS, use_matrix=False).apply_local(dataset)
+        identical = all(
+            np.array_equal(a.records, b.records) for a, b in zip(matrix_parts, index_parts)
+        )
+        exp.note(f"partitions identical across modes: {identical}")
+        return exp, identical
+
+    exp, identical = benchmark.pedantic(run, rounds=1, iterations=1)
+    reporter.record(exp)
+    shape(identical, "matrix-vector and index forms produce identical partitions")

@@ -1,0 +1,61 @@
+"""Wall-clock parallel speedup on the process backend.
+
+All cluster-scale figures use virtual time (DESIGN.md §6); this bench is the
+honesty check on real hardware: the same distributed sample-sort kernel run
+on 1 vs N rank *processes*, measured in wall-clock seconds.  The speedup is
+bounded by shuffle serialization, but it must be real (> 1) on multicore
+hosts — demonstrating the runtime is a working parallel substrate, not only
+a simulator.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench import Experiment, shape
+from repro.mpi.process_backend import run_mpi_processes
+from tests.mpi.test_process_backend import _sort_prog
+
+N = 2_000_000
+RANKS = min(4, os.cpu_count() or 1)
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(3)
+    return rng.integers(0, 1 << 40, size=N)
+
+
+def run_scaling(data):
+    exp = Experiment(
+        "Process parallelism", "wall-clock distributed sort, 1 vs N rank processes"
+    )
+    walls = {}
+    for ranks in (1, RANKS):
+        t0 = time.perf_counter()
+        run = run_mpi_processes(_sort_prog, ranks, args=(data,))
+        walls[ranks] = time.perf_counter() - t0
+        merged = np.concatenate(run.results)
+        assert len(merged) == N
+        exp.add(ranks=ranks, wall_s=walls[ranks], records=N)
+    exp.note(f"host has {os.cpu_count()} cpus; speedup includes process startup + shuffle")
+    return exp, walls
+
+
+def test_process_parallel_speedup(benchmark, data, reporter):
+    if RANKS < 2:
+        pytest.skip("single-core host")
+    exp, walls = benchmark.pedantic(run_scaling, args=(data,), rounds=1, iterations=1)
+    reporter.record(exp)
+    shape(
+        walls[RANKS] < walls[1],
+        f"{RANKS} rank processes beat 1 in wall clock "
+        f"({walls[RANKS]:.2f}s < {walls[1]:.2f}s)",
+    )
+
+
+def test_numpy_sort_baseline(benchmark, data):
+    out = benchmark(np.sort, data, kind="stable")
+    assert len(out) == N

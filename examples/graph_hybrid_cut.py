@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""PowerLyra-style hybrid-cut graph partitioning (paper Sections II-A, IV-C).
+
+Generates a power-law graph, partitions it with the PaPar-generated
+hybrid-cut workflow (Figure 10: group by in-vertex with a count add-on,
+threshold split, per-stream cyclic distribution), cross-checks against the
+independent reference implementation, then runs PageRank under the three
+cuts of Figure 14 and reports replication factors and modeled times.
+
+Run:  python examples/graph_hybrid_cut.py
+"""
+
+import numpy as np
+
+from repro import PaPar
+from repro.cluster import ClusterModel, ETHERNET_10G
+from repro.config import EDGE_INPUT_XML
+from repro.config.examples import HYBRID_CUT_WORKFLOW_XML
+from repro.graph import (
+    GASEngine,
+    generate_powerlaw,
+    pagerank_reference,
+    papar_equivalent_hybrid_cut,
+    partition_by,
+)
+
+NUM_PARTITIONS = 8
+THRESHOLD = 20
+
+
+def main() -> None:
+    g = generate_powerlaw(4000, 40_000, alpha=2.2, seed=11)
+    indeg = g.in_degrees()
+    print(
+        f"graph: {g.num_vertices} vertices, {g.num_edges} edges, "
+        f"max in-degree {int(indeg.max())} (power-law tail)"
+    )
+
+    # -- PaPar-generated hybrid-cut (Figure 10 workflow) ---------------------
+    papar = PaPar()
+    papar.register_input(EDGE_INPUT_XML)
+    result = papar.run(
+        HYBRID_CUT_WORKFLOW_XML,
+        {
+            "input_file": "/in",
+            "output_path": "/out",
+            "num_partitions": NUM_PARTITIONS,
+            "threshold": THRESHOLD,
+        },
+        data=g.to_dataset(),
+        backend="mpi",
+        num_ranks=4,
+    )
+    sizes = [p.num_records for p in result.partitions]
+    print(f"PaPar hybrid-cut partition sizes: {sizes}")
+
+    # -- identical to the independent reference ------------------------------
+    reference = papar_equivalent_hybrid_cut(g, NUM_PARTITIONS, THRESHOLD)
+    for ours, theirs in zip(result.partitions, reference):
+        got = np.column_stack(
+            [ours.records["vertex_a"], ours.records["vertex_b"], ours.records["indegree"]]
+        )
+        np.testing.assert_array_equal(got, theirs)
+    print("partitions identical to the reference hybrid-cut implementation")
+
+    # -- Figure 14: PageRank under the three cuts -----------------------------
+    cluster = ClusterModel(num_nodes=NUM_PARTITIONS, ranks_per_node=1, network=ETHERNET_10G)
+    ref_ranks = pagerank_reference(g, iterations=10)
+    print(f"\n{'cut':12s} {'replication':>11s} {'edge balance':>12s} {'modeled time':>12s}")
+    for strategy in ("hybrid-cut", "vertex-cut", "edge-cut"):
+        kwargs = {"threshold": THRESHOLD} if strategy == "hybrid-cut" else {}
+        pg = partition_by(strategy, g, NUM_PARTITIONS, **kwargs)
+        ranks, report = GASEngine(pg, cluster=cluster).pagerank(iterations=10)
+        np.testing.assert_allclose(ranks, ref_ranks, rtol=1e-10)
+        print(
+            f"{strategy:12s} {pg.replication_factor():11.2f} "
+            f"{pg.edge_balance():12.2f} {report.elapsed * 1e3:9.2f} ms"
+        )
+    print("\nall cuts compute identical PageRank values; hybrid-cut costs least")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""PaPar quickstart: describe data, describe a workflow, get partitions.
+
+Covers the three-step user experience of the paper's Figure 3:
+
+1. an input-data configuration describing the record layout (Figure 4 style),
+2. a workflow configuration naming the operators (Figure 8 style),
+3. PaPar plans the workflow, generates the partitioner, and runs it.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import PaPar
+from repro.core.dataset import Dataset
+
+# -- 1. describe the input data ---------------------------------------------
+# Records of four integers: an id, a size, and two payload fields.
+INPUT_XML = """
+<input id="my_records" name="quickstart record layout">
+  <input_format>binary</input_format>
+  <element>
+    <value name="record_id" type="integer"/>
+    <value name="size" type="integer"/>
+    <value name="payload_a" type="integer"/>
+    <value name="payload_b" type="integer"/>
+  </element>
+</input>
+"""
+
+# -- 2. describe the partitioning workflow ----------------------------------
+# Sort records by size, then deal them round-robin into N partitions: the
+# same shape as the muBLASTP workflow of Figure 8.
+WORKFLOW_XML = """
+<workflow id="quickstart" name="sort + cyclic distribution">
+  <arguments>
+    <param name="input_path" type="hdfs" format="my_records"/>
+    <param name="output_path" type="hdfs" format="my_records"/>
+    <param name="num_partitions" type="integer"/>
+  </arguments>
+  <operators>
+    <operator id="sort" operator="Sort">
+      <param name="inputPath" type="String" value="$input_path"/>
+      <param name="outputPath" type="String" value="/tmp/sorted"/>
+      <param name="key" type="KeyId" value="size"/>
+    </operator>
+    <operator id="distr" operator="Distribute">
+      <param name="inputPath" type="String" value="$sort.outputPath"/>
+      <param name="outputPath" type="String" value="$output_path"/>
+      <param name="distrPolicy" type="DistrPolicy" value="roundRobin"/>
+      <param name="numPartitions" type="integer" value="$num_partitions"/>
+    </operator>
+  </operators>
+</workflow>
+"""
+
+
+def main() -> None:
+    papar = PaPar()
+    schema = papar.register_input(INPUT_XML)
+    print(f"registered schema {schema.id!r}: {schema.field_names}, "
+          f"{schema.itemsize} bytes/record")
+
+    # some skewed in-memory records (PaPar supports in-memory partitioning)
+    rng = np.random.default_rng(0)
+    sizes = (rng.pareto(1.5, size=24) * 50 + 10).astype(int)
+    rows = [(i, int(s), i * 2, i * 3) for i, s in enumerate(sizes)]
+    data = Dataset.from_rows(schema, rows)
+
+    args = {"input_path": "/in", "output_path": "/out", "num_partitions": 3}
+
+    # -- 3a. run interpreted, serial backend -------------------------------
+    result = papar.run(WORKFLOW_XML, args, data=data)
+    print(f"\nserial backend produced {result.num_partitions} partitions:")
+    for p, part in enumerate(result.partitions):
+        print(f"  partition {p}: sizes {[int(r[1]) for r in part.rows()]}")
+
+    # -- 3b. the same thing through the generated code ----------------------
+    plan = papar.plan(WORKFLOW_XML, args)
+    print("\ngenerated partitioner source (first 12 lines):")
+    for line in papar.generate_code(plan).splitlines()[:12]:
+        print(f"  {line}")
+    module = papar.compile(plan)
+    gen = module.run(data, backend="serial")
+    assert [p.rows() for p in gen.partitions] == [p.rows() for p in result.partitions]
+    print("\ngenerated code reproduces the interpreted partitions exactly")
+
+    # -- 3c. distributed (simulated MPI) backend ------------------------------
+    mpi = papar.run(WORKFLOW_XML, args, data=data, backend="mpi", num_ranks=4)
+    assert [p.rows() for p in mpi.partitions] == [p.rows() for p in result.partitions]
+    print("MPI backend (4 ranks) produces the same partitions")
+
+
+if __name__ == "__main__":
+    main()

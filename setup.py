@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+All metadata lives in pyproject.toml; this file exists so environments
+without the ``wheel`` package (offline clusters) can still do
+``python setup.py develop --no-deps`` or a plain ``pip install .`` through
+the legacy build path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,35 @@
+"""PaPar — a parallel data partitioning framework for big data applications.
+
+This package reproduces the system described in
+
+    Wang, Zhang, Zhang, Pumma, Feng.
+    "PaPar: A Parallel Data Partitioning Framework for Big Data Applications."
+    IPDPS 2017.
+
+Layout
+------
+``repro.mpi``
+    A pure-Python, thread-based SPMD MPI runtime (the paper ran on MVAPICH2;
+    see DESIGN.md for the substitution argument).
+``repro.cluster``
+    Virtual-time cluster cost model (nodes, Ethernet vs InfiniBand networks).
+``repro.mapreduce``
+    An MR-MPI-style MapReduce engine running on ``repro.mpi``.
+``repro.config`` / ``repro.formats``
+    The two user-facing configuration files (input-data format and workflow)
+    and the record formats they describe.
+``repro.ops`` / ``repro.policies``
+    The operator building blocks (Table I of the paper) and distribution
+    policies formalized as stride-permutation matrices.
+``repro.core``
+    The PaPar framework facade: parse configs, plan jobs, generate code,
+    and execute partitioning workflows.
+``repro.blast`` / ``repro.graph``
+    The two driving applications: muBLASTP database partitioning and
+    PowerLyra-style graph partitioning (edge-cut / vertex-cut / hybrid-cut).
+"""
+
+from repro._version import __version__
+from repro.core.framework import PaPar
+
+__all__ = ["PaPar", "__version__"]

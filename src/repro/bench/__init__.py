@@ -1,0 +1,5 @@
+"""Experiment harness for the benchmarks suite (tables, shape assertions)."""
+
+from repro.bench.harness import Experiment, Reporter, format_table, shape
+
+__all__ = ["Experiment", "Reporter", "format_table", "shape"]

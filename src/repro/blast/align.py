@@ -1,0 +1,141 @@
+"""Local alignment with traceback: human-readable BLAST hit reports.
+
+The search kernel scores hits; this module recovers the actual alignment
+(Smith-Waterman with affine gaps, full traceback) and formats it the way
+BLAST output does — query line, match line (``|`` identity, ``+`` positive
+substitution), subject line — plus identity/positive/gap statistics.
+Intended for reporting the top hits, so the quadratic DP is applied to the
+clipped hit regions, not whole databases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.blast.gapped import GAP_EXTEND, GAP_OPEN
+from repro.blast.scoring import BLOSUM62, decode
+from repro.errors import PaParError
+
+
+@dataclass(frozen=True)
+class Alignment:
+    """One local alignment with its statistics."""
+
+    score: int
+    query_aligned: str
+    match_line: str
+    subject_aligned: str
+    query_start: int
+    subject_start: int
+    identities: int
+    positives: int
+    gaps: int
+
+    @property
+    def length(self) -> int:
+        return len(self.query_aligned)
+
+    @property
+    def identity_fraction(self) -> float:
+        return self.identities / self.length if self.length else 0.0
+
+    def pretty(self, width: int = 60) -> str:
+        """BLAST-style block rendering."""
+        out = [
+            f"Score = {self.score}, Identities = {self.identities}/{self.length} "
+            f"({self.identity_fraction:.0%}), Gaps = {self.gaps}/{self.length}"
+        ]
+        for start in range(0, self.length, width):
+            q = self.query_aligned[start : start + width]
+            m = self.match_line[start : start + width]
+            s = self.subject_aligned[start : start + width]
+            out.append(f"Query  {q}")
+            out.append(f"       {m}")
+            out.append(f"Sbjct  {s}")
+        return "\n".join(out)
+
+
+def smith_waterman(
+    query: np.ndarray,
+    subject: np.ndarray,
+    gap_open: int = GAP_OPEN,
+    gap_extend: int = GAP_EXTEND,
+) -> Alignment:
+    """Full Smith-Waterman (affine gaps, Gotoh) with traceback."""
+    m, n = len(query), len(subject)
+    if m == 0 or n == 0:
+        raise PaParError("cannot align empty sequences")
+    NEG = -(10**9)
+    H = np.zeros((m + 1, n + 1), dtype=np.int64)
+    E = np.full((m + 1, n + 1), NEG, dtype=np.int64)  # gap in query (left)
+    F = np.full((m + 1, n + 1), NEG, dtype=np.int64)  # gap in subject (up)
+    best, bi, bj = 0, 0, 0
+    for i in range(1, m + 1):
+        for j in range(1, n + 1):
+            E[i, j] = max(H[i, j - 1] - gap_open - gap_extend, E[i, j - 1] - gap_extend)
+            F[i, j] = max(H[i - 1, j] - gap_open - gap_extend, F[i - 1, j] - gap_extend)
+            diag = H[i - 1, j - 1] + int(BLOSUM62[query[i - 1], subject[j - 1]])
+            H[i, j] = max(0, diag, E[i, j], F[i, j])
+            if H[i, j] > best:
+                best, bi, bj = int(H[i, j]), i, j
+    # traceback from (bi, bj) until H == 0
+    q_parts: list[str] = []
+    m_parts: list[str] = []
+    s_parts: list[str] = []
+    i, j = bi, bj
+    identities = positives = gaps = 0
+    while i > 0 and j > 0 and H[i, j] > 0:
+        sub = int(BLOSUM62[query[i - 1], subject[j - 1]])
+        if H[i, j] == H[i - 1, j - 1] + sub:
+            qc, sc = decode(query[i - 1 : i]), decode(subject[j - 1 : j])
+            q_parts.append(qc)
+            s_parts.append(sc)
+            if qc == sc:
+                m_parts.append("|")
+                identities += 1
+                positives += 1
+            elif sub > 0:
+                m_parts.append("+")
+                positives += 1
+            else:
+                m_parts.append(" ")
+            i -= 1
+            j -= 1
+        elif H[i, j] == E[i, j]:
+            # gap in query: consume subject until the E-run opened
+            while j > 0 and H[i, j] == E[i, j] and E[i, j] == E[i, j - 1] - gap_extend:
+                q_parts.append("-")
+                m_parts.append(" ")
+                s_parts.append(decode(subject[j - 1 : j]))
+                gaps += 1
+                j -= 1
+            q_parts.append("-")
+            m_parts.append(" ")
+            s_parts.append(decode(subject[j - 1 : j]))
+            gaps += 1
+            j -= 1
+        else:
+            while i > 0 and H[i, j] == F[i, j] and F[i, j] == F[i - 1, j] - gap_extend:
+                q_parts.append(decode(query[i - 1 : i]))
+                m_parts.append(" ")
+                s_parts.append("-")
+                gaps += 1
+                i -= 1
+            q_parts.append(decode(query[i - 1 : i]))
+            m_parts.append(" ")
+            s_parts.append("-")
+            gaps += 1
+            i -= 1
+    return Alignment(
+        score=best,
+        query_aligned="".join(reversed(q_parts)),
+        match_line="".join(reversed(m_parts)),
+        subject_aligned="".join(reversed(s_parts)),
+        query_start=i,
+        subject_start=j,
+        identities=identities,
+        positives=positives,
+        gaps=gaps,
+    )

@@ -1,0 +1,75 @@
+"""FASTA reading and writing.
+
+Real muBLASTP databases start life as FASTA files (``formatdb`` builds the
+binary index from them).  These helpers round-trip
+:class:`~repro.blast.database.SequenceDatabase` objects through FASTA so the
+synthetic pipeline mirrors the real tool chain end to end.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+from repro.blast.database import SequenceDatabase
+from repro.blast.scoring import decode, encode
+from repro.errors import PaParError
+
+PathLike = Union[str, os.PathLike]
+LINE_WIDTH = 60
+
+
+def write_fasta(path: PathLike, db: SequenceDatabase) -> None:
+    """Write every sequence of ``db`` as a FASTA record."""
+    with open(path, "w", encoding="ascii") as fh:
+        for i in range(db.num_sequences):
+            header = db.description(i)
+            if not header.startswith(">"):
+                header = ">" + header
+            fh.write(header + "\n")
+            seq = decode(db.sequence(i))
+            for start in range(0, len(seq), LINE_WIDTH):
+                fh.write(seq[start : start + LINE_WIDTH] + "\n")
+
+
+def read_fasta(path: PathLike, name: str = "fasta") -> SequenceDatabase:
+    """Parse a FASTA file into a :class:`SequenceDatabase`."""
+    headers: list[bytes] = []
+    sequences: list[np.ndarray] = []
+    current: list[str] = []
+    with open(path, "r", encoding="ascii") as fh:
+        for line in fh:
+            line = line.rstrip("\r\n")
+            if not line:
+                continue
+            if line.startswith(">"):
+                if current:
+                    sequences.append(encode("".join(current)))
+                    current = []
+                elif headers:
+                    raise PaParError(f"{path}: empty FASTA record {headers[-1][:40]!r}")
+                headers.append(line.encode("ascii"))
+            else:
+                if not headers:
+                    raise PaParError(f"{path}: sequence data before the first '>' header")
+                current.append(line)
+    if headers and not current:
+        raise PaParError(f"{path}: empty FASTA record {headers[-1][:40]!r}")
+    if current:
+        sequences.append(encode("".join(current)))
+    if not headers:
+        raise PaParError(f"{path}: no FASTA records found")
+
+    lengths = np.array([len(s) for s in sequences], dtype=np.int64)
+    desc_sizes = np.array([len(h) for h in headers], dtype=np.int64)
+    return SequenceDatabase(
+        name=name,
+        residues=np.concatenate(sequences) if sequences else np.empty(0, dtype=np.uint8),
+        seq_start=np.concatenate(([0], np.cumsum(lengths)))[:-1],
+        seq_size=lengths,
+        descriptions=b"".join(headers),
+        desc_start=np.concatenate(([0], np.cumsum(desc_sizes)))[:-1],
+        desc_size=desc_sizes,
+    )

@@ -1,0 +1,133 @@
+"""Command-line driver: ``python -m repro <command> ...``.
+
+The paper's runtime reads workflow arguments "from the configuration file at
+runtime" with overrides from the command line; this CLI is that front end:
+
+* ``plan``     — parse the configs, resolve arguments, print the job table;
+* ``codegen``  — emit the generated partitioner source;
+* ``run``      — partition an input file into ``part-NNNNN`` output files.
+
+Example::
+
+    python -m repro run \\
+        --input-config blast_db.xml --workflow blast_partition.xml \\
+        --arg input_path=db.index --arg output_path=out/ \\
+        --arg num_partitions=16 --backend mpi --ranks 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro import PaPar
+from repro.errors import PaParError
+
+
+def _parse_arg_pairs(pairs: list[str]) -> dict[str, str]:
+    args = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise PaParError(f"--arg expects name=value, got {pair!r}")
+        name, value = pair.split("=", 1)
+        args[name] = value
+    return args
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PaPar: generate and run application-specific data partitioners",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--input-config",
+            action="append",
+            default=[],
+            metavar="FILE",
+            help="input-data configuration XML (repeatable)",
+        )
+        p.add_argument("--workflow", required=True, metavar="FILE",
+                       help="workflow configuration XML")
+        p.add_argument("--arg", action="append", default=[], metavar="NAME=VALUE",
+                       help="workflow argument (repeatable)")
+
+    p_plan = sub.add_parser("plan", help="print the planned job sequence")
+    common(p_plan)
+
+    p_gen = sub.add_parser("codegen", help="emit the generated partitioner source")
+    common(p_gen)
+    p_gen.add_argument("-o", "--output", metavar="FILE",
+                       help="write the source here (default: stdout)")
+
+    p_run = sub.add_parser("run", help="partition an input file into part files")
+    common(p_run)
+    p_run.add_argument("--backend", default="serial",
+                       choices=("serial", "mpi", "mapreduce"))
+    p_run.add_argument("--ranks", type=int, default=1, help="MPI ranks to simulate")
+    return parser
+
+
+def _load(ns: argparse.Namespace) -> tuple[PaPar, object, dict]:
+    papar = PaPar()
+    for path in ns.input_config:
+        papar.register_input_file(path)
+    workflow = papar.load_workflow_file(ns.workflow)
+    return papar, workflow, _parse_arg_pairs(ns.arg)
+
+
+def cmd_plan(ns: argparse.Namespace) -> int:
+    papar, workflow, args = _load(ns)
+    plan = papar.plan(workflow, args)
+    print(f"workflow {plan.workflow_id!r}: {len(plan.jobs)} job(s)")
+    for i, job in enumerate(plan.jobs):
+        src = job.source if job.source else "<workflow input>"
+        print(
+            f"  [{i}] {job.op_id} ({job.operator_name}) "
+            f"<- {src}  -> {', '.join(job.output_paths)}"
+        )
+    return 0
+
+
+def cmd_codegen(ns: argparse.Namespace) -> int:
+    papar, workflow, args = _load(ns)
+    plan = papar.plan(workflow, args)
+    source = papar.generate_code(plan)
+    if ns.output:
+        with open(ns.output, "w", encoding="utf-8") as fh:
+            fh.write(source)
+        print(f"wrote {ns.output}")
+    else:
+        print(source)
+    return 0
+
+
+def cmd_run(ns: argparse.Namespace) -> int:
+    papar, workflow, args = _load(ns)
+    out = papar.partition_files(
+        workflow, args, backend=ns.backend, num_ranks=ns.ranks
+    )
+    print(f"wrote {out.num_partitions} partition(s):")
+    for path, part in zip(out.output_paths, out.partitions):
+        print(f"  {path}  ({part.num_records} records)")
+    return 0
+
+
+_COMMANDS = {"plan": cmd_plan, "codegen": cmd_codegen, "run": cmd_run}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    ns = parser.parse_args(argv)
+    try:
+        return _COMMANDS[ns.command](ns)
+    except PaParError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,52 @@
+"""Per-rank virtual clocks.
+
+A :class:`VirtualClock` models the local time of one MPI rank in simulated
+seconds.  Clocks only move forward; message passing merges clocks in the
+usual Lamport fashion (``receive`` sets the receiver clock to the maximum of
+its own time and the message arrival time).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ClusterError
+
+
+class VirtualClock:
+    """A monotonically increasing virtual clock for one rank."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ClusterError(f"clock cannot start at negative time {start!r}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Advance the clock by ``seconds`` (must be non-negative).
+
+        Returns the new time.
+        """
+        if seconds < 0:
+            raise ClusterError(f"cannot advance clock by negative time {seconds!r}")
+        self._now += seconds
+        return self._now
+
+    def merge(self, timestamp: float) -> float:
+        """Set the clock to ``max(now, timestamp)`` and return the new time."""
+        if timestamp > self._now:
+            self._now = timestamp
+        return self._now
+
+    def reset(self, start: float = 0.0) -> None:
+        """Reset to ``start`` (used between repeated experiments)."""
+        if start < 0:
+            raise ClusterError(f"clock cannot reset to negative time {start!r}")
+        self._now = float(start)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"VirtualClock(now={self._now:.6f})"

@@ -1,0 +1,37 @@
+"""Compute-node specification.
+
+Matches the paper's testbed node: two 8-core Intel Xeon E5-2670
+(Sandy Bridge) sockets at 2.6 GHz, 64 GB memory.  The muBLASTP experiments
+bind one MPI rank per socket, so the default is two ranks per node with
+eight worker threads each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ClusterError
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One compute node of the simulated cluster."""
+
+    name: str = "E5-2670"
+    sockets: int = 2
+    cores_per_socket: int = 8
+    clock_ghz: float = 2.6
+    memory_gb: float = 64.0
+    #: relative single-core throughput factor (1.0 = calibration host core)
+    core_speed: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.sockets < 1 or self.cores_per_socket < 1:
+            raise ClusterError("node must have at least one socket and one core")
+        if self.core_speed <= 0:
+            raise ClusterError("core_speed must be positive")
+
+    @property
+    def cores(self) -> int:
+        """Total number of physical cores on this node."""
+        return self.sockets * self.cores_per_socket

@@ -1,0 +1,88 @@
+"""Network models: latency/bandwidth parameters for message transfer time.
+
+Two concrete models mirror the paper's testbed interconnects:
+
+* :data:`ETHERNET_10G` — 10 Gbps Ethernet with socket-stack latencies.
+  PowerLyra's own shuffle runs over sockets on Ethernet (Section IV-C).
+* :data:`INFINIBAND_QDR` — QDR InfiniBand with RDMA latencies, as used by
+  MVAPICH2 for the PaPar/MR-MPI runs.
+
+The transfer-time model is the classic alpha-beta model::
+
+    t(n) = latency + n / bandwidth
+
+with separate (much cheaper) parameters for messages that stay inside a node
+(shared-memory transport).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ClusterError
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Alpha-beta transfer-time model for one interconnect.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier used in reports.
+    latency_s:
+        One-way small-message latency between two nodes, in seconds.
+    bandwidth_bps:
+        Sustained point-to-point bandwidth between two nodes, bytes/second.
+    intra_latency_s / intra_bandwidth_bps:
+        Same quantities for two ranks on the same node (shared memory).
+    """
+
+    name: str
+    latency_s: float
+    bandwidth_bps: float
+    intra_latency_s: float
+    intra_bandwidth_bps: float
+
+    def __post_init__(self) -> None:
+        for field in ("latency_s", "bandwidth_bps", "intra_latency_s", "intra_bandwidth_bps"):
+            if getattr(self, field) < 0:
+                raise ClusterError(f"{self.name}: {field} must be non-negative")
+        if self.bandwidth_bps == 0 or self.intra_bandwidth_bps == 0:
+            raise ClusterError(f"{self.name}: bandwidth must be positive")
+
+    def transfer_time(self, nbytes: int, *, same_node: bool) -> float:
+        """Time in seconds to move ``nbytes`` between two ranks."""
+        if nbytes < 0:
+            raise ClusterError(f"negative message size {nbytes!r}")
+        if same_node:
+            return self.intra_latency_s + nbytes / self.intra_bandwidth_bps
+        return self.latency_s + nbytes / self.bandwidth_bps
+
+
+#: 10 Gbps Ethernet through the kernel socket stack (PowerLyra's transport).
+ETHERNET_10G = NetworkModel(
+    name="10GbE (sockets)",
+    latency_s=50e-6,
+    bandwidth_bps=10e9 / 8 * 0.85,  # ~1.06 GB/s sustained
+    intra_latency_s=5e-6,
+    intra_bandwidth_bps=6e9,
+)
+
+#: QDR InfiniBand with RDMA (MVAPICH2's transport for PaPar / MR-MPI).
+INFINIBAND_QDR = NetworkModel(
+    name="QDR InfiniBand (RDMA)",
+    latency_s=1.5e-6,
+    bandwidth_bps=32e9 / 8 * 0.9,  # QDR 4x effective data rate ~3.6 GB/s
+    intra_latency_s=0.8e-6,
+    intra_bandwidth_bps=8e9,
+)
+
+#: Zero-cost network for pure-functional runs (tests that ignore timing).
+LOCALHOST = NetworkModel(
+    name="localhost (free)",
+    latency_s=0.0,
+    bandwidth_bps=float("inf"),
+    intra_latency_s=0.0,
+    intra_bandwidth_bps=float("inf"),
+)

@@ -1,0 +1,151 @@
+"""Virtual-time execution traces.
+
+A :class:`Tracer` collects per-rank events (compute phases, sends, receives)
+stamped with virtual time, so a simulated run can be inspected as a timeline
+— which phase dominated, how long ranks idled at synchronization points,
+how shuffle volume was distributed.  The MPI runtime does not require a
+tracer; one is attached explicitly where analysis is wanted.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One event on one rank's timeline."""
+
+    rank: int
+    kind: str  # "compute" | "send" | "recv" | "mark"
+    start: float
+    end: float
+    label: str = ""
+    nbytes: int = 0
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class RankTimeline:
+    """All events of one rank, in emission order."""
+
+    rank: int
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def busy_time(self) -> float:
+        """Total virtual time covered by compute events."""
+        return sum(e.duration for e in self.events if e.kind == "compute")
+
+    def bytes_sent(self) -> int:
+        return sum(e.nbytes for e in self.events if e.kind == "send")
+
+    def bytes_received(self) -> int:
+        return sum(e.nbytes for e in self.events if e.kind == "recv")
+
+
+class Tracer:
+    """Thread-safe collector of trace events across ranks."""
+
+    def __init__(self, size: int) -> None:
+        self._lock = threading.Lock()
+        self.timelines = [RankTimeline(rank=r) for r in range(size)]
+
+    def record(
+        self,
+        rank: int,
+        kind: str,
+        start: float,
+        end: float,
+        label: str = "",
+        nbytes: int = 0,
+    ) -> None:
+        event = TraceEvent(rank=rank, kind=kind, start=start, end=end, label=label, nbytes=nbytes)
+        with self._lock:
+            self.timelines[rank].events.append(event)
+
+    def mark(self, rank: int, now: float, label: str) -> None:
+        """A zero-duration annotation (e.g. 'job sort starts')."""
+        self.record(rank, "mark", now, now, label=label)
+
+    # -- analysis -------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return len(self.timelines)
+
+    def makespan(self) -> float:
+        """Latest event end across all ranks."""
+        ends = [e.end for tl in self.timelines for e in tl.events]
+        return max(ends) if ends else 0.0
+
+    def compute_fraction(self) -> float:
+        """Fraction of total rank-time spent computing (vs idle/comm)."""
+        span = self.makespan()
+        if span == 0.0:
+            return 0.0
+        busy = sum(tl.busy_time() for tl in self.timelines)
+        return busy / (span * self.size)
+
+    def summary(self) -> str:
+        """Per-rank one-line summary table."""
+        lines = [f"{'rank':>4}  {'events':>6}  {'busy_s':>10}  {'sent_B':>10}  {'recv_B':>10}"]
+        for tl in self.timelines:
+            lines.append(
+                f"{tl.rank:>4}  {len(tl.events):>6}  {tl.busy_time():>10.6f}  "
+                f"{tl.bytes_sent():>10}  {tl.bytes_received():>10}"
+            )
+        lines.append(f"makespan: {self.makespan():.6f}s, compute fraction: {self.compute_fraction():.1%}")
+        return "\n".join(lines)
+
+
+def traced_program(tracer: Tracer, label_prefix: str = ""):
+    """Decorator helpers for rank programs: wraps ``comm.charge_compute`` and
+    the pickled send/recv paths of a communicator with trace recording."""
+
+    def instrument(comm):
+        original_charge = comm.charge_compute
+        original_send = comm.send
+        original_recv = comm.recv
+
+        def charge(seconds: float) -> None:
+            start = comm.clock.now
+            original_charge(seconds)
+            tracer.record(comm.rank, "compute", start, comm.clock.now, label=label_prefix)
+
+        def send(obj, dest, tag=0):
+            import pickle
+
+            start = comm.clock.now
+            nbytes = len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+            original_send(obj, dest, tag=tag)
+            tracer.record(
+                comm.rank, "send", start, comm.clock.now, label=f"->{dest}", nbytes=nbytes
+            )
+
+        def recv(source=-1, tag=-1, status=None):
+            from repro.mpi.status import Status
+
+            start = comm.clock.now
+            st = status if status is not None else Status()
+            out = original_recv(source=source, tag=tag, status=st)
+            tracer.record(
+                comm.rank,
+                "recv",
+                start,
+                comm.clock.now,
+                label=f"<-{st.source}",
+                nbytes=st.count,
+            )
+            return out
+
+        comm.charge_compute = charge
+        comm.send = send
+        comm.recv = recv
+        return comm
+
+    return instrument

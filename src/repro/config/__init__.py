@@ -1,0 +1,47 @@
+"""Configuration parsing: PaPar's two user-facing configuration files.
+
+* :mod:`repro.config.schema` — input-data descriptions (Figures 4/5);
+* :mod:`repro.config.workflow` — workflow descriptions (Figures 8/10) with
+  ``$variable`` resolution;
+* :mod:`repro.config.operators` — custom operator registration (Figure 7).
+"""
+
+from repro.config.operators import (
+    OperatorRegistration,
+    load_operator_config,
+    parse_operator_config,
+)
+from repro.config.schema import (
+    BLAST_INPUT_XML,
+    EDGE_INPUT_XML,
+    load_input_config,
+    parse_input_config,
+)
+from repro.config.workflow import (
+    AddOnSpec,
+    Bindings,
+    OperatorSpec,
+    ParamSpec,
+    WorkflowSpec,
+    bind_arguments,
+    load_workflow_config,
+    parse_workflow_config,
+)
+
+__all__ = [
+    "parse_input_config",
+    "load_input_config",
+    "BLAST_INPUT_XML",
+    "EDGE_INPUT_XML",
+    "parse_workflow_config",
+    "load_workflow_config",
+    "WorkflowSpec",
+    "OperatorSpec",
+    "ParamSpec",
+    "AddOnSpec",
+    "Bindings",
+    "bind_arguments",
+    "OperatorRegistration",
+    "parse_operator_config",
+    "load_operator_config",
+]

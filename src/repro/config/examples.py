@@ -1,0 +1,69 @@
+"""The paper's two case-study workflow configurations (Figures 8 and 10).
+
+Kept verbatim-equivalent to the paper (with its typos fixed: Figure 8 writes
+``ouputPath`` in two places and Figure 10 references ``$sort.outputPath``
+where it means ``$group.outputPath``).
+"""
+
+#: Figure 8 — muBLASTP database partitioning: sort by seq_size, distribute
+#: cyclically ("roundRobin" in the figure).
+BLAST_WORKFLOW_XML = """\
+<workflow id="blast_partition" name="BLAST database partition">
+  <arguments>
+    <param name="input_path" type="hdfs" format="blast_db"/>
+    <param name="output_path" type="hdfs" format="blast_db"/>
+    <param name="num_partitions" type="integer"/>
+    <param name="num_reducers" type="integer" value="3"/>
+  </arguments>
+  <operators>
+    <operator id="sort" operator="Sort" num_reducers="$num_reducers">
+      <param name="inputPath" type="String" value="$input_path"/>
+      <param name="outputPath" type="String" value="/user/sort_output"/>
+      <param name="key" type="KeyId" value="seq_size"/>
+    </operator>
+    <operator id="distr" operator="Distribute">
+      <param name="inputPath" type="String" value="$sort.outputPath"/>
+      <param name="outputPath" type="String" value="$output_path"/>
+      <param name="distrPolicy" type="DistrPolicy" value="roundRobin"/>
+      <param name="numPartitions" type="integer" value="$num_partitions"/>
+    </operator>
+  </operators>
+</workflow>
+"""
+
+#: Figure 10 — PowerLyra hybrid-cut: group by in-vertex (count indegree,
+#: pack), split by indegree threshold (unpack the high-degree side),
+#: distribute with the graphVertexCut policy.
+HYBRID_CUT_WORKFLOW_XML = """\
+<workflow id="hybrid_cut" name="Hybrid-cut">
+  <arguments>
+    <param name="input_file" type="hdfs" format="graph_edge"/>
+    <param name="output_path" type="hdfs" format="graph_edge"/>
+    <param name="num_partitions" type="integer"/>
+    <param name="threshold" type="integer"/>
+  </arguments>
+  <operators>
+    <operator id="group" operator="Group">
+      <param name="inputPath" type="String" value="$input_file"/>
+      <param name="outputPath" type="String" value="/tmp/group" format="pack"/>
+      <param name="key" type="KeyId" value="vertex_b"/>
+      <addon operator="count" key="vertex_b" attr="indegree"/>
+    </operator>
+    <operator id="split" operator="Split">
+      <param name="inputPath" type="String" value="$group.outputPath"/>
+      <param name="outputPathList" type="StringList"
+             value="/tmp/split/high_degree,/tmp/split/low_degree"
+             format="unpack,orig"/>
+      <param name="key" type="KeyId" value="$group.$indegree"/>
+      <param name="policy" type="SplitPolicy"
+             value="{&gt;=, $threshold},{&lt;, $threshold}"/>
+    </operator>
+    <operator id="distr" operator="Distribute">
+      <param name="inputPath" type="String" value="/tmp/split/"/>
+      <param name="outputPath" type="String" value="$output_path"/>
+      <param name="policy" type="DistrPolicy" value="graphVertexCut"/>
+      <param name="numPartitions" type="integer" value="$num_partitions"/>
+    </operator>
+  </operators>
+</workflow>
+"""

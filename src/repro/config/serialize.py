@@ -1,0 +1,83 @@
+"""Serialization back to the configuration-file dialects.
+
+Programmatic users can build :class:`~repro.formats.records.RecordSchema`
+and :class:`~repro.config.workflow.WorkflowSpec` objects directly; these
+writers emit the equivalent XML so configurations can be shared, versioned,
+and re-parsed (round-trip tested).
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from xml.dom import minidom
+
+from repro.config.workflow import WorkflowSpec
+from repro.formats.records import RecordSchema
+
+_UNESCAPES = {"\t": "\\t", "\n": "\\n", "\r": "\\r", "\0": "\\0"}
+
+
+def _escape_delim(d: str) -> str:
+    return _UNESCAPES.get(d, d)
+
+
+def _pretty(root: ET.Element) -> str:
+    raw = ET.tostring(root, encoding="unicode")
+    pretty = minidom.parseString(raw).toprettyxml(indent="  ")
+    # drop the XML declaration and blank lines minidom adds
+    lines = [ln for ln in pretty.splitlines() if ln.strip() and not ln.startswith("<?xml")]
+    return "\n".join(lines) + "\n"
+
+
+def schema_to_xml(schema: RecordSchema, name: str = "") -> str:
+    """Emit a Figure 4/5-style ``<input>`` document for ``schema``."""
+    root = ET.Element("input", {"id": schema.id})
+    if name:
+        root.set("name", name)
+    fmt = ET.SubElement(root, "input_format")
+    fmt.text = schema.input_format
+    if schema.start_position:
+        sp = ET.SubElement(root, "start_position")
+        sp.text = str(schema.start_position)
+    element = ET.SubElement(root, "element")
+    delims = schema.effective_delimiters() if schema.input_format == "text" else ()
+    for i, field in enumerate(schema.fields):
+        ET.SubElement(element, "value", {"name": field.name, "type": field.type})
+        if delims:
+            ET.SubElement(element, "delimiter", {"value": _escape_delim(delims[i])})
+    return _pretty(root)
+
+
+def workflow_to_xml(spec: WorkflowSpec) -> str:
+    """Emit a Figure 8/10-style ``<workflow>`` document for ``spec``."""
+    root = ET.Element("workflow", {"id": spec.id, "name": spec.name})
+    args = ET.SubElement(root, "arguments")
+    for ps in spec.arguments.values():
+        attrs = {"name": ps.name, "type": ps.type}
+        if ps.value is not None:
+            attrs["value"] = ps.value
+        if ps.format is not None:
+            attrs["format"] = ps.format
+        ET.SubElement(args, "param", attrs)
+    ops = ET.SubElement(root, "operators")
+    for op in spec.operators:
+        attrs = {"id": op.id, "operator": op.operator}
+        attrs.update(op.attrs)
+        op_node = ET.SubElement(ops, "operator", attrs)
+        for ps in op.params.values():
+            p_attrs = {"name": ps.name, "type": ps.type}
+            if ps.value is not None:
+                p_attrs["value"] = ps.value
+            if ps.format is not None:
+                p_attrs["format"] = ps.format
+            ET.SubElement(op_node, "param", p_attrs)
+        for addon in op.addons:
+            a_attrs = {"operator": addon.operator}
+            if addon.key is not None:
+                a_attrs["key"] = addon.key
+            if addon.attr is not None:
+                a_attrs["attr"] = addon.attr
+            if addon.value is not None:
+                a_attrs["value"] = addon.value
+            ET.SubElement(op_node, "addon", a_attrs)
+    return _pretty(root)

@@ -1,0 +1,34 @@
+"""PaPar core: dataset, planner, code generator, runtimes, facade.
+
+The paper's primary contribution lives here: parse the two configuration
+files, formalize the workflow as key-value jobs plus permutation-matrix
+distributions, generate the parallel partitioner, and execute it on the
+MPI/MapReduce backends.
+"""
+
+from repro.core.codegen import (
+    compile_partitioner,
+    generate_partitioner_source,
+    write_partitioner,
+)
+from repro.core.dataset import Dataset, concat
+from repro.core.framework import PaPar
+from repro.core.mr_runtime import MapReduceRuntime
+from repro.core.planner import PlannedJob, Planner, WorkflowPlan
+from repro.core.runtime import MPIRuntime, PartitionResult, SerialRuntime
+
+__all__ = [
+    "PaPar",
+    "Dataset",
+    "concat",
+    "Planner",
+    "WorkflowPlan",
+    "PlannedJob",
+    "SerialRuntime",
+    "MPIRuntime",
+    "MapReduceRuntime",
+    "PartitionResult",
+    "generate_partitioner_source",
+    "compile_partitioner",
+    "write_partitioner",
+]

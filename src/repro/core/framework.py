@@ -1,0 +1,188 @@
+"""The PaPar facade: configuration in, partitions (or generated code) out.
+
+Usage mirrors the paper's Figure 3 architecture::
+
+    papar = PaPar()
+    papar.register_input(BLAST_INPUT_XML)          # input-data config
+    wf = papar.load_workflow(BLAST_WORKFLOW_XML)    # workflow config
+    plan = papar.plan(wf, {"input_path": "...", "output_path": "...",
+                           "num_partitions": 16})
+    source = papar.generate_code(plan)              # codegen path
+    result = papar.run(wf, args=..., data=dataset,  # or execute directly
+                       backend="mpi", num_ranks=32, cluster=testbed)
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Optional, Union
+
+from repro.cluster.model import ClusterModel
+from repro.config.schema import load_input_config, parse_input_config
+from repro.config.workflow import WorkflowSpec, load_workflow_config, parse_workflow_config
+from repro.core.codegen import compile_partitioner, generate_partitioner_source
+from repro.core.dataset import Dataset
+from repro.core.planner import Planner, WorkflowPlan
+from repro.core.runtime import MPIRuntime, PartitionResult, SerialRuntime
+from repro.errors import ConfigError, WorkflowError
+from repro.formats.binary import BinaryInputFormat, read_binary
+from repro.formats.records import RecordSchema
+from repro.formats.text import read_text_array
+
+
+class PaPar:
+    """The parallel data partitioning framework."""
+
+    def __init__(self) -> None:
+        self._schemas: dict[str, RecordSchema] = {}
+        self._planner = Planner()
+
+    # -- input-data configurations -----------------------------------------
+
+    def register_input(self, xml: str) -> RecordSchema:
+        """Register an input-data configuration (Figure 4/5 XML text)."""
+        schema = parse_input_config(xml)
+        self._schemas[schema.id] = schema
+        return schema
+
+    def register_input_file(self, path: Union[str, os.PathLike]) -> RecordSchema:
+        """Register an input-data configuration from disk."""
+        schema = load_input_config(path)
+        self._schemas[schema.id] = schema
+        return schema
+
+    def register_schema(self, schema: RecordSchema) -> RecordSchema:
+        """Register a programmatically built schema."""
+        self._schemas[schema.id] = schema
+        return schema
+
+    def schema(self, schema_id: str) -> RecordSchema:
+        """Look up a registered schema by its ``input id``."""
+        if schema_id not in self._schemas:
+            raise ConfigError(
+                f"no input schema {schema_id!r} registered; known: {sorted(self._schemas)}"
+            )
+        return self._schemas[schema_id]
+
+    # -- workflow configurations ----------------------------------------------
+
+    @staticmethod
+    def load_workflow(xml: str) -> WorkflowSpec:
+        """Parse a workflow configuration (Figure 8/10 XML text)."""
+        return parse_workflow_config(xml)
+
+    @staticmethod
+    def load_workflow_file(path: Union[str, os.PathLike]) -> WorkflowSpec:
+        """Parse a workflow configuration from disk."""
+        return load_workflow_config(path)
+
+    # -- planning and code generation ----------------------------------------------
+
+    def plan(
+        self,
+        workflow: Union[WorkflowSpec, str],
+        args: Optional[dict[str, Any]] = None,
+    ) -> WorkflowPlan:
+        """Resolve arguments and build the executable job sequence.
+
+        When the workflow's input format is a registered schema, every
+        operator key is validated against the fields available at that stage
+        (input fields plus attributes earlier add-ons introduced), so typos
+        fail at plan time instead of mid-run.
+        """
+        spec = self.load_workflow(workflow) if isinstance(workflow, str) else workflow
+        plan = self._planner.plan(spec, args)
+        if plan.input_format_id in self._schemas:
+            self._validate_keys(plan, self._schemas[plan.input_format_id])
+        return plan
+
+    @staticmethod
+    def _validate_keys(plan: WorkflowPlan, schema: RecordSchema) -> None:
+        from repro.ops.group import Group
+        from repro.ops.sort import Sort
+        from repro.ops.split import Split
+
+        available = set(schema.field_names)
+        for job in plan.jobs:
+            op = job.operator
+            key = getattr(op, "key", None)
+            if isinstance(op, (Sort, Group, Split)) and key not in available:
+                raise WorkflowError(
+                    f"operator {job.op_id!r} keys on {key!r}, which is not "
+                    f"available at this stage; known fields: {sorted(available)}"
+                )
+            if isinstance(op, Group):
+                available |= set(op.added_attrs)
+
+    def generate_code(self, plan: WorkflowPlan) -> str:
+        """Emit the standalone Python partitioner for ``plan``."""
+        return generate_partitioner_source(plan)
+
+    def compile(self, plan: WorkflowPlan):
+        """Generate and import the partitioner module (has a ``run`` function)."""
+        return compile_partitioner(plan)
+
+    # -- data loading --------------------------------------------------------------
+
+    def load_dataset(self, path: Union[str, os.PathLike], schema_id: str) -> Dataset:
+        """Read an input file through its registered schema."""
+        schema = self.schema(schema_id)
+        if schema.input_format == "binary":
+            return Dataset.from_array(schema, read_binary(path, schema))
+        return Dataset.from_array(schema, read_text_array(path, schema))
+
+    def input_format(self, path: Union[str, os.PathLike], schema_id: str):
+        """A Hadoop-style InputFormat over ``path`` (binary schemas)."""
+        return BinaryInputFormat(path, self.schema(schema_id))
+
+    def partition_files(
+        self,
+        workflow: Union[WorkflowSpec, str],
+        args: dict[str, Any],
+        backend: str = "serial",
+        num_ranks: int = 1,
+        cluster: Optional[ClusterModel] = None,
+        schema_id: Optional[str] = None,
+    ):
+        """End-to-end: read the input file, partition, write part-NNNNN files."""
+        from repro.core.files import partition_files as _partition_files
+
+        return _partition_files(
+            self,
+            workflow,
+            args,
+            backend=backend,
+            num_ranks=num_ranks,
+            cluster=cluster,
+            schema_id=schema_id,
+        )
+
+    # -- execution ---------------------------------------------------------------------
+
+    def run(
+        self,
+        workflow: Union[WorkflowSpec, WorkflowPlan, str],
+        args: Optional[dict[str, Any]] = None,
+        data: Optional[Dataset] = None,
+        backend: str = "serial",
+        num_ranks: int = 1,
+        cluster: Optional[ClusterModel] = None,
+    ) -> PartitionResult:
+        """Plan (if needed) and execute a workflow over ``data``."""
+        if isinstance(workflow, WorkflowPlan):
+            plan = workflow
+        else:
+            plan = self.plan(workflow, args)
+        if data is None:
+            raise WorkflowError("run() needs an in-memory Dataset via data=...")
+        if backend == "serial":
+            return SerialRuntime().execute(plan, data)
+        if backend == "mpi":
+            return MPIRuntime(num_ranks=num_ranks, cluster=cluster).execute(plan, data)
+        if backend == "mapreduce":
+            from repro.core.mr_runtime import MapReduceRuntime
+
+            return MapReduceRuntime(num_ranks=num_ranks, cluster=cluster).execute(plan, data)
+        raise WorkflowError(
+            f"unknown backend {backend!r}; use 'serial', 'mpi' or 'mapreduce'"
+        )

@@ -1,0 +1,220 @@
+"""The MapReduce backend: workflows as literal map/shuffle/reduce jobs.
+
+Where :class:`~repro.core.runtime.MPIRuntime` implements each operator with
+raw MPI exchanges, this backend phrases every operator exactly as the
+paper's Figures 9 and 11 do — as an MR-MPI job with an explicit *temporary
+reduce-key*:
+
+* **Sort** (Figure 9, job 1): mappers emit ``(sampled-range-key, record)``,
+  the shuffle routes by key range, reducers sort by the user key and strip
+  the reduce-key.
+* **Group** (Figure 11, job 1): mappers emit ``(group-key, record)``,
+  reducers group, run the add-ons (e.g. ``count`` -> ``indegree``) and
+  ``pack`` the output.
+* **Split** (Figure 11, job 2): a map-only job routing entries by the split
+  policy; no shuffle is needed because routing is local.
+* **Distribute** (Figures 9/11, last job): mappers compute each entry's
+  target partition from the permutation formalization and emit
+  ``(partition-id, entry)`` — "the reducer id is used as the reduce-key";
+  reducers strip the reduce-key and write their partition.
+
+The output partitions are bit-identical to the other two backends (tested),
+which is the point: the three backends are the paper's three mappings of one
+formalization.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.cluster.model import ClusterModel
+from repro.core.dataset import Dataset, concat
+from repro.core.planner import PlannedJob, WorkflowPlan
+from repro.core.runtime import PartitionResult, SerialRuntime, _dataset_rows_per_rank
+from repro.errors import WorkflowError
+from repro.mapreduce.engine import MRMPIEngine
+from repro.mapreduce.partitioner import ExplicitPartitioner
+from repro.mapreduce.sampling import sample_key_ranges
+from repro.mpi import SUM, run_mpi
+from repro.mpi.comm import Communicator
+from repro.ops.distribute import Distribute
+from repro.ops.group import Group
+from repro.ops.sort import Sort
+from repro.ops.split import Split
+
+
+class MapReduceRuntime:
+    """Executes a workflow plan as a sequence of MR-MPI jobs."""
+
+    def __init__(
+        self,
+        num_ranks: int,
+        cluster: Optional[ClusterModel] = None,
+        sample_size: int = 512,
+    ) -> None:
+        if cluster is not None and cluster.size != num_ranks:
+            raise WorkflowError(
+                f"cluster model has {cluster.size} ranks, runtime asked for {num_ranks}"
+            )
+        self.num_ranks = num_ranks
+        self.cluster = cluster
+        self.sample_size = sample_size
+
+    def execute(self, plan: WorkflowPlan, input_data: Dataset) -> PartitionResult:
+        run = run_mpi(
+            self._rank_program,
+            self.num_ranks,
+            cluster=self.cluster,
+            args=(plan, input_data),
+        )
+        merged: dict[int, Dataset] = {}
+        for rank_out in run.results:
+            merged.update(rank_out)
+        return PartitionResult(
+            partitions=[merged[p] for p in sorted(merged)],
+            elapsed=run.elapsed,
+            bytes_moved=run.bytes_moved,
+            messages=run.messages,
+        )
+
+    # -- per-rank program ---------------------------------------------------
+
+    def _rank_program(
+        self, comm: Communicator, plan: WorkflowPlan, input_data: Dataset
+    ) -> dict[int, Dataset]:
+        engine = MRMPIEngine(comm)
+        local: Any = _dataset_rows_per_rank(input_data, comm.rank, comm.size)
+        outputs: dict[str, Any] = {}
+        final: Any = None
+        for i, job in enumerate(plan.jobs):
+            source = SerialRuntime._job_input(job, i, plan, outputs, local)
+            final = self._run_job(engine, job, source)
+            outputs[job.op_id] = final
+        if not isinstance(final, dict):
+            raise WorkflowError(
+                f"workflow {plan.workflow_id!r} must end with a Distribute job"
+            )
+        return final
+
+    def _run_job(self, engine: MRMPIEngine, job: PlannedJob, source: Any) -> Any:
+        op = job.operator
+        if isinstance(op, Sort):
+            return self._sort_job(engine, op, source, num_reducers=job.num_reducers)
+        if isinstance(op, Group):
+            return self._group_job(engine, op, source)
+        if isinstance(op, Split):
+            engine.charge_job_overhead()
+            return op.apply_local(source)
+        if isinstance(op, Distribute):
+            return self._distribute_job(engine, op, source)
+        return op.apply_local(source)
+
+    # -- Sort as a MapReduce job (Figure 9, job 1) -----------------------------
+
+    def _sort_job(
+        self, engine: MRMPIEngine, op: Sort, data: Dataset, num_reducers: Optional[int] = None
+    ) -> Dataset:
+        engine.charge_job_overhead()
+        comm = engine.comm
+        keys = np.asarray(data.column(op.key))
+        sort_keys = keys if op.ascending else -keys
+        # the workflow may pin the reducer count (Figure 8: num_reducers=3);
+        # reducers map onto ranks contiguously so rank-major order stays
+        # globally sorted regardless of the reducer count
+        reducers = num_reducers or comm.size
+        boundaries = sample_key_ranges(
+            comm, sort_keys, num_reducers=reducers, sample_size=self.sample_size
+        )
+        # map: tag every entry with its sampled-range reduce-key and shuffle
+        reducer_of = np.searchsorted(np.asarray(boundaries), sort_keys, side="left")
+        owners = (reducer_of * comm.size) // reducers
+        chunks = self._exchange_chunks(comm, data, owners)
+        received = concat(chunks) if len(chunks) > 1 else chunks[0]
+        # reduce: sort by the user key, strip the temporary reduce-key
+        return op.apply_local(received)
+
+    # -- Group as a MapReduce job (Figure 11, job 1) ------------------------------
+
+    def _group_job(self, engine: MRMPIEngine, op: Group, data: Dataset) -> Dataset:
+        engine.charge_job_overhead()
+        comm = engine.comm
+        keys = np.asarray(data.column(op.key))
+        boundaries = sample_key_ranges(
+            comm, keys, num_reducers=comm.size, sample_size=self.sample_size
+        )
+        owners = np.searchsorted(np.asarray(boundaries), keys, side="left")
+        chunks = self._exchange_chunks(comm, data, owners)
+        received = concat(chunks) if len(chunks) > 1 else chunks[0]
+        return op.apply_local(received)
+
+    # -- Distribute as a MapReduce job (Figures 9/11, last job) --------------------
+
+    def _distribute_job(
+        self, engine: MRMPIEngine, op: Distribute, source: Any
+    ) -> dict[int, Dataset]:
+        engine.charge_job_overhead()
+        comm = engine.comm
+        streams = [source] if isinstance(source, Dataset) else list(source)
+        num_p = op.num_partitions
+        reducer_part = ExplicitPartitioner(num_p)
+        collected: dict[int, list[tuple[int, int, Dataset]]] = {}
+        for stream_idx, stream in enumerate(streams):
+            n_local = len(stream)
+            offset = comm.exscan(n_local, SUM, identity=0)
+            global_idx = np.arange(n_local, dtype=np.int64) + offset
+            owners_part = self._partition_ids(op, comm, global_idx, n_local)
+            # map: the partition id is the temporary reduce-key
+            outboxes: list[list[tuple[int, int, Any]]] = [[] for _ in range(comm.size)]
+            for p in np.unique(owners_part):
+                mask = owners_part == p
+                chunk = stream.take(np.flatnonzero(mask))
+                dest_rank = reducer_part(int(p)) % comm.size
+                outboxes[dest_rank].append((int(p), int(global_idx[mask][0]), chunk))
+            inboxes = comm.alltoall(outboxes)
+            for box in inboxes:
+                for p, first_idx, chunk in box:
+                    collected.setdefault(p, []).append((stream_idx, first_idx, chunk))
+        # reduce: strip the reduce-key, emit each owned partition
+        result: dict[int, Dataset] = {}
+        empty = streams[0].take(np.empty(0, dtype=np.int64)).to_flat()
+        for p in range(num_p):
+            if p % comm.size != comm.rank:
+                continue
+            chunks = collected.get(p)
+            if not chunks:
+                result[p] = empty
+                continue
+            chunks.sort(key=lambda t: (t[0], t[1]))
+            flat = [c.to_flat() for _, _, c in chunks]
+            result[p] = concat(flat) if len(flat) > 1 else flat[0]
+        return result
+
+    def _partition_ids(
+        self, op: Distribute, comm: Communicator, global_idx: np.ndarray, n_local: int
+    ) -> np.ndarray:
+        total = comm.allreduce(n_local, SUM)
+        policy = op.policy.name
+        if policy in ("cyclic", "graphVertexCut"):
+            return global_idx % op.num_partitions
+        if policy == "block":
+            base, extra = divmod(total, op.num_partitions)
+            sizes = np.array(
+                [base + (1 if p < extra else 0) for p in range(op.num_partitions)]
+            )
+            return np.searchsorted(np.cumsum(sizes), global_idx, side="right")
+        raise WorkflowError(f"MapReduce runtime does not know policy {policy!r}")
+
+    # -- shuffle helper ------------------------------------------------------------
+
+    @staticmethod
+    def _exchange_chunks(
+        comm: Communicator, data: Dataset, owners: np.ndarray
+    ) -> list[Dataset]:
+        outboxes = [data.take(np.flatnonzero(owners == dest)) for dest in range(comm.size)]
+        inboxes = comm.alltoall(outboxes)
+        flats = [b.to_flat() for b in inboxes if len(b)]
+        if not flats:
+            return [data.take(np.empty(0, dtype=np.int64)).to_flat()]
+        return flats

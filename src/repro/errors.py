@@ -1,0 +1,52 @@
+"""Exception hierarchy for the PaPar reproduction.
+
+Every error raised by this package derives from :class:`PaParError` so that
+callers can catch framework failures without also swallowing programming
+errors (``TypeError`` etc. still propagate untouched).
+"""
+
+from __future__ import annotations
+
+
+class PaParError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigError(PaParError):
+    """A configuration file is malformed or references unknown entities."""
+
+
+class SchemaError(ConfigError):
+    """An input-data description (record schema) is invalid."""
+
+
+class WorkflowError(ConfigError):
+    """A workflow configuration is invalid (unknown operator, bad ``$ref``...)."""
+
+
+class OperatorError(PaParError):
+    """An operator was invoked with invalid arguments or data."""
+
+
+class PolicyError(PaParError):
+    """A distribution or split policy is invalid for the given data."""
+
+
+class FormatError(PaParError):
+    """Data could not be encoded/decoded in the requested record format."""
+
+
+class MPIError(PaParError):
+    """Errors from the simulated MPI runtime."""
+
+
+class MapReduceError(PaParError):
+    """Errors from the MapReduce engine."""
+
+
+class CodegenError(PaParError):
+    """The code generator could not emit a partitioner for the workflow."""
+
+
+class ClusterError(PaParError):
+    """The cluster cost model was configured inconsistently."""

@@ -1,0 +1,180 @@
+"""Packed record format and CSR/CSC compression (paper Section III-D).
+
+The ``pack`` format operator turns a reducer's grouped output into *packed
+entries*: all records sharing a group key stored as one entry.  The packed
+layout is redundant — the group key (and any per-group add-on attribute, such
+as the in-degree) repeats inside every record of the group.  The paper's
+"Data Compression" optimization stores the redundant key column in a
+Compressed Sparse Column (CSC) layout instead: one key per group plus an
+offsets array, while the *value array is deliberately left uncompressed*
+("the value array may include different values ... we do not compress the
+value array to keep the generality").
+
+``PackedRecords`` is the uncompressed packed format; ``CSCBlock`` is its
+compressed form.  Both round-trip losslessly, and both report ``nbytes`` so
+the communication saving can be measured (the paper observed up to 13% on
+its graph datasets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.formats.records import RecordSchema
+
+
+def _schema_without(schema: RecordSchema, field: str) -> np.dtype:
+    """Structured dtype of a record with ``field`` removed."""
+    return np.dtype([(f.name, f.numpy_dtype) for f in schema.fields if f.name != field])
+
+
+@dataclass
+class PackedRecords:
+    """Grouped records in the (uncompressed) packed format.
+
+    ``groups`` maps group key -> structured array of *full* records, each
+    still carrying the redundant key field.
+    """
+
+    schema: RecordSchema
+    key_field: str
+    groups: list[tuple[Any, np.ndarray]]
+
+    def __post_init__(self) -> None:
+        if not self.schema.has_field(self.key_field):
+            raise FormatError(
+                f"key field {self.key_field!r} not in schema {self.schema.id!r}"
+            )
+        for key, rows in self.groups:
+            if len(rows) and not np.all(rows[self.key_field] == key):
+                raise FormatError(
+                    f"packed group {key!r} contains records with a different key"
+                )
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.groups)
+
+    @property
+    def num_records(self) -> int:
+        return sum(len(rows) for _, rows in self.groups)
+
+    @property
+    def nbytes(self) -> int:
+        """Wire size of the packed representation (full records, keys repeated)."""
+        return sum(rows.nbytes for _, rows in self.groups)
+
+    def unpack(self) -> np.ndarray:
+        """Back to a flat record array (the ``unpack`` format operator)."""
+        if not self.groups:
+            return np.empty(0, dtype=self.schema.dtype)
+        return np.concatenate([rows for _, rows in self.groups])
+
+    def to_csc(self) -> "CSCBlock":
+        """Compress: store each group key once, keep value columns verbatim."""
+        keys = np.array([k for k, _ in self.groups])
+        counts = np.array([len(rows) for _, rows in self.groups], dtype=np.int64)
+        indptr = np.concatenate(([0], np.cumsum(counts)))
+        other_dtype = _schema_without(self.schema, self.key_field)
+        flat = np.empty(int(counts.sum()), dtype=other_dtype)
+        pos = 0
+        for _, rows in self.groups:
+            for name in other_dtype.names:
+                flat[name][pos : pos + len(rows)] = rows[name]
+            pos += len(rows)
+        return CSCBlock(
+            schema=self.schema, key_field=self.key_field, keys=keys, indptr=indptr, values=flat
+        )
+
+
+@dataclass
+class CSCBlock:
+    """CSC-compressed packed records.
+
+    Mirrors the paper's example ``{0, {2, 3, 4, 5}, {4, 4, 4, 4}}``: a start
+    pointer (generalized here to the full ``indptr`` offsets array), the
+    per-record value columns, and the group keys stored once each.
+    """
+
+    schema: RecordSchema
+    key_field: str
+    keys: np.ndarray
+    indptr: np.ndarray
+    values: np.ndarray  # structured array of non-key columns, uncompressed
+
+    def __post_init__(self) -> None:
+        if len(self.indptr) != len(self.keys) + 1:
+            raise FormatError(
+                f"indptr must have {len(self.keys) + 1} entries, got {len(self.indptr)}"
+            )
+        if len(self.values) != (self.indptr[-1] if len(self.indptr) else 0):
+            raise FormatError("values length does not match indptr[-1]")
+        if np.any(np.diff(self.indptr) < 0):
+            raise FormatError("indptr must be non-decreasing")
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.keys)
+
+    @property
+    def num_records(self) -> int:
+        return len(self.values)
+
+    @property
+    def nbytes(self) -> int:
+        """Wire size of the compressed representation."""
+        return self.keys.nbytes + self.indptr.nbytes + self.values.nbytes
+
+    def to_packed(self) -> PackedRecords:
+        """Decompress back to the packed format (lossless round trip)."""
+        groups = []
+        key_dtype = self.schema.dtype[self.key_field]
+        for i, key in enumerate(self.keys):
+            lo, hi = int(self.indptr[i]), int(self.indptr[i + 1])
+            rows = np.empty(hi - lo, dtype=self.schema.dtype)
+            rows[self.key_field] = np.asarray(key).astype(key_dtype)
+            for name in self.values.dtype.names:
+                rows[name] = self.values[name][lo:hi]
+            groups.append((key, rows))
+        return PackedRecords(schema=self.schema, key_field=self.key_field, groups=groups)
+
+
+def pack(records: np.ndarray, schema: RecordSchema, key_field: str) -> PackedRecords:
+    """The ``pack`` format operator: group a record array by ``key_field``.
+
+    Groups appear in ascending key order (the deterministic order reducers
+    produce after a keyed shuffle).
+    """
+    if records.dtype != schema.dtype:
+        raise FormatError(
+            f"records dtype {records.dtype} does not match schema {schema.id!r}"
+        )
+    if not schema.has_field(key_field):
+        raise FormatError(f"key field {key_field!r} not in schema {schema.id!r}")
+    order = np.argsort(records[key_field], kind="stable")
+    ordered = records[order]
+    keys, starts = np.unique(ordered[key_field], return_index=True)
+    bounds = np.concatenate((starts, [len(ordered)]))
+    # groups are views into the freshly gathered `ordered` array — no
+    # per-group copies, which matters when a graph has 10^5 vertices
+    groups = [
+        (keys[i], ordered[bounds[i] : bounds[i + 1]]) for i in range(len(keys))
+    ]
+    return PackedRecords(schema=schema, key_field=key_field, groups=groups)
+
+
+def unpack(packed: PackedRecords) -> np.ndarray:
+    """The ``unpack`` format operator (module-level convenience)."""
+    return packed.unpack()
+
+
+def compression_ratio(packed: PackedRecords) -> float:
+    """Fraction of bytes saved by CSC compression: ``1 - csc/packed``."""
+    base = packed.nbytes
+    if base == 0:
+        return 0.0
+    return 1.0 - packed.to_csc().nbytes / base

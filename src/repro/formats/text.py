@@ -1,0 +1,170 @@
+"""Delimited text record files (the edge-list format of Figure 5).
+
+Each element is one line; fields are separated by the configured delimiters
+(``\\t`` between fields, ``\\n`` terminating the element, by default).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Iterator, Sequence, Union
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.formats.records import RecordSchema
+from repro.mapreduce.hadoop import InputFormat, InputSplit, RecordReader
+
+PathLike = Union[str, os.PathLike]
+
+
+def format_line(row: Sequence[Any], schema: RecordSchema) -> str:
+    """Render one record as its delimited text line (including terminator)."""
+    delims = schema.effective_delimiters()
+    parts = []
+    for value, delim in zip(row, delims):
+        if isinstance(value, float):
+            parts.append(repr(value))
+        else:
+            parts.append(str(value))
+        parts.append(delim)
+    return "".join(parts)
+
+
+def parse_line(line: str, schema: RecordSchema) -> tuple[Any, ...]:
+    """Parse one line into a typed tuple according to the schema delimiters."""
+    delims = schema.effective_delimiters()
+    rest = line
+    values = []
+    for f, delim in zip(schema.fields, delims):
+        if delim == "\n":
+            token, rest = rest.rstrip("\r\n"), ""
+        else:
+            token, sep, rest = rest.partition(delim)
+            if not sep:
+                raise FormatError(
+                    f"line {line!r} is missing delimiter {delim!r} after field {f.name!r}"
+                )
+        try:
+            values.append(f.parse_text(token))
+        except ValueError as exc:
+            raise FormatError(f"cannot parse {token!r} as {f.type} for field {f.name!r}") from exc
+    return tuple(values)
+
+
+def write_text(path: PathLike, rows: Sequence[Sequence[Any]], schema: RecordSchema) -> None:
+    """Write records as delimited text."""
+    if schema.input_format != "text":
+        raise FormatError(f"schema {schema.id!r} is not a text schema")
+    with open(path, "w", encoding="utf-8") as fh:
+        for row in rows:
+            fh.write(format_line(row, schema))
+
+
+def read_text(path: PathLike, schema: RecordSchema) -> list[tuple[Any, ...]]:
+    """Read a whole delimited text file into typed tuples."""
+    if schema.input_format != "text":
+        raise FormatError(f"schema {schema.id!r} is not a text schema")
+    out = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            if line.strip():
+                out.append(parse_line(line, schema))
+    return out
+
+
+def read_text_array(path: PathLike, schema: RecordSchema) -> np.ndarray:
+    """Read a numeric text file straight into a structured array."""
+    rows = read_text(path, schema)
+    return schema.to_structured(rows)
+
+
+class _TextRecordReader(RecordReader):
+    def __init__(self, rows: list[tuple[Any, ...]]) -> None:
+        self.rows = rows
+
+    def __iter__(self) -> Iterator[tuple[Any, ...]]:
+        return iter(self.rows)
+
+
+class ByteRangeTextInputFormat(InputFormat):
+    """Hadoop's real text-splitting behaviour: byte ranges snapped to lines.
+
+    Hadoop carves a text file into *byte* ranges without looking at content;
+    each record reader then skips the partial line at the start of its range
+    (the previous reader finished it) and reads past its end boundary to
+    complete the final line.  This reader reproduces that protocol exactly,
+    so splits can be computed from the file size alone — the property that
+    lets huge inputs be split without scanning them.
+    """
+
+    def __init__(self, path: PathLike, schema: RecordSchema) -> None:
+        if schema.input_format != "text":
+            raise FormatError(f"schema {schema.id!r} is not a text schema")
+        self.path = os.fspath(path)
+        self.schema = schema
+        self.file_size = os.path.getsize(self.path)
+
+    def get_splits(self, num_splits: int) -> list[InputSplit]:
+        if num_splits < 1:
+            raise FormatError(f"num_splits must be >= 1, got {num_splits!r}")
+        base, extra = divmod(self.file_size, num_splits)
+        splits, start = [], 0
+        for i in range(num_splits):
+            length = base + (1 if i < extra else 0)
+            splits.append(InputSplit(source=self.path, start=start, length=length))
+            start += length
+        return splits
+
+    def get_record_reader(self, split: InputSplit) -> RecordReader:
+        rows: list[tuple[Any, ...]] = []
+        end = split.start + split.length
+        with open(self.path, "rb") as fh:
+            fh.seek(split.start)
+            if split.start > 0:
+                # the previous split's reader owns the line we land inside
+                # (it reads one line past its end boundary); skip it
+                fh.readline()
+            # Hadoop rule: keep reading while the line *starts* at or before
+            # our end boundary — the final line may extend past it
+            while fh.tell() <= end:
+                raw = fh.readline()
+                if not raw:
+                    break
+                line = raw.decode("utf-8")
+                if line.strip():
+                    rows.append(parse_line(line, self.schema))
+        return _TextRecordReader(rows)
+
+
+class TextInputFormat(InputFormat):
+    """Hadoop-style reader over a delimited text file.
+
+    Splits are in units of records (lines); like Hadoop's ``TextInputFormat``
+    the reader never hands half a line to a mapper.
+    """
+
+    def __init__(self, path: PathLike, schema: RecordSchema) -> None:
+        if schema.input_format != "text":
+            raise FormatError(f"schema {schema.id!r} is not a text schema")
+        self.path = os.fspath(path)
+        self.schema = schema
+        self._rows = read_text(self.path, schema)
+
+    @property
+    def num_records(self) -> int:
+        return len(self._rows)
+
+    def get_splits(self, num_splits: int) -> list[InputSplit]:
+        if num_splits < 1:
+            raise FormatError(f"num_splits must be >= 1, got {num_splits!r}")
+        base, extra = divmod(self.num_records, num_splits)
+        splits, start = [], 0
+        for i in range(num_splits):
+            length = base + (1 if i < extra else 0)
+            splits.append(InputSplit(source=self.path, start=start, length=length))
+            start += length
+        return splits
+
+    def get_record_reader(self, split: InputSplit) -> RecordReader:
+        return _TextRecordReader(self._rows[split.start : split.start + split.length])

@@ -1,0 +1,82 @@
+"""The PowerLyra driving application (paper Sections II-A, IV-C).
+
+Graph containers, synthetic Table II dataset generators, the three
+partitioning strategies of Figure 14 (edge-cut / vertex-cut / hybrid-cut),
+a GAS execution engine with PageRank and Connected Components, graph
+statistics, and the native-PowerLyra baseline (reference hybrid-cut +
+partitioning-time model for Figure 15).
+"""
+
+from repro.graph.gas import (
+    ExecutionReport,
+    GASEngine,
+    pagerank_reference,
+)
+from repro.graph.generate import (
+    DATASETS,
+    GOOGLE,
+    LIVEJOURNAL,
+    POKEC,
+    DatasetSpec,
+    generate_graph,
+    generate_powerlaw,
+)
+from repro.graph.graph import Graph
+from repro.graph.partition import (
+    PartitionedGraph,
+    STRATEGIES,
+    edge_cut,
+    hybrid_cut,
+    partition_by,
+    vertex_cut,
+)
+from repro.graph.greedy import greedy_vertex_cut
+from repro.graph.ingress import load_graph_distributed
+from repro.graph.mpi_gas import DistributedPageRankResult, distributed_pagerank
+from repro.graph.replication_theory import (
+    expected_random_replication,
+    hybrid_low_side_bound,
+)
+from repro.graph.sssp import sssp
+from repro.graph.powerlyra import PartitionerTimeModel, papar_equivalent_hybrid_cut
+from repro.graph.stats import (
+    GraphStats,
+    compute_stats,
+    count_triangles,
+    degree_tail_ratio,
+    is_power_law_like,
+)
+
+__all__ = [
+    "Graph",
+    "generate_graph",
+    "generate_powerlaw",
+    "DATASETS",
+    "GOOGLE",
+    "POKEC",
+    "LIVEJOURNAL",
+    "DatasetSpec",
+    "PartitionedGraph",
+    "edge_cut",
+    "vertex_cut",
+    "hybrid_cut",
+    "partition_by",
+    "STRATEGIES",
+    "GASEngine",
+    "ExecutionReport",
+    "pagerank_reference",
+    "GraphStats",
+    "compute_stats",
+    "count_triangles",
+    "degree_tail_ratio",
+    "is_power_law_like",
+    "papar_equivalent_hybrid_cut",
+    "PartitionerTimeModel",
+    "distributed_pagerank",
+    "DistributedPageRankResult",
+    "greedy_vertex_cut",
+    "sssp",
+    "load_graph_distributed",
+    "expected_random_replication",
+    "hybrid_low_side_bound",
+]

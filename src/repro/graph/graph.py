@@ -1,0 +1,98 @@
+"""Directed graph container backed by edge arrays.
+
+Edges live in two parallel int64 arrays (``src``, ``dst``) — the in-memory
+form of the Figure 5 edge-list format — with cached degree vectors and CSR
+adjacency for the analytics that need it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.dataset import Dataset
+from repro.errors import PaParError
+from repro.formats.records import EDGE_LIST_SCHEMA
+
+
+class Graph:
+    """A directed graph over vertices ``0..num_vertices-1``."""
+
+    def __init__(self, src: np.ndarray, dst: np.ndarray, num_vertices: Optional[int] = None):
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        if src.shape != dst.shape or src.ndim != 1:
+            raise PaParError("src and dst must be 1-D arrays of equal length")
+        if len(src) and (src.min() < 0 or dst.min() < 0):
+            raise PaParError("vertex ids must be non-negative")
+        self.src = src
+        self.dst = dst
+        inferred = int(max(src.max(), dst.max()) + 1) if len(src) else 0
+        self.num_vertices = num_vertices if num_vertices is not None else inferred
+        if self.num_vertices < inferred:
+            raise PaParError(
+                f"num_vertices={self.num_vertices} but edges reference vertex {inferred - 1}"
+            )
+        self._in_deg: Optional[np.ndarray] = None
+        self._out_deg: Optional[np.ndarray] = None
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def from_edges(cls, edges: Sequence[tuple[int, int]], num_vertices: Optional[int] = None):
+        """Build from (src, dst) tuples."""
+        if len(edges) == 0:
+            return cls(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64), num_vertices)
+        arr = np.asarray(edges, dtype=np.int64)
+        return cls(arr[:, 0], arr[:, 1], num_vertices)
+
+    @classmethod
+    def from_dataset(cls, ds: Dataset, num_vertices: Optional[int] = None):
+        """Build from a flat ``graph_edge`` dataset."""
+        flat = ds.to_flat().records
+        return cls(flat["vertex_a"], flat["vertex_b"], num_vertices)
+
+    def to_dataset(self) -> Dataset:
+        """The edge list as a PaPar dataset (hybrid-cut workflow input)."""
+        records = np.empty(self.num_edges, dtype=EDGE_LIST_SCHEMA.dtype)
+        records["vertex_a"] = self.src
+        records["vertex_b"] = self.dst
+        return Dataset.from_array(EDGE_LIST_SCHEMA, records)
+
+    # -- basics ---------------------------------------------------------------------
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.src)
+
+    def in_degrees(self) -> np.ndarray:
+        """In-degree of every vertex (cached)."""
+        if self._in_deg is None:
+            self._in_deg = np.bincount(self.dst, minlength=self.num_vertices).astype(np.int64)
+        return self._in_deg
+
+    def out_degrees(self) -> np.ndarray:
+        """Out-degree of every vertex (cached)."""
+        if self._out_deg is None:
+            self._out_deg = np.bincount(self.src, minlength=self.num_vertices).astype(np.int64)
+        return self._out_deg
+
+    def adjacency(self) -> sp.csr_matrix:
+        """Sparse adjacency matrix ``A[s, d] = 1``."""
+        data = np.ones(self.num_edges, dtype=np.float64)
+        return sp.csr_matrix(
+            (data, (self.src, self.dst)), shape=(self.num_vertices, self.num_vertices)
+        )
+
+    def edges(self) -> np.ndarray:
+        """Edges as an (E, 2) array."""
+        return np.column_stack((self.src, self.dst))
+
+    def select(self, mask: np.ndarray) -> "Graph":
+        """Subgraph of the selected edges (same vertex id space)."""
+        return Graph(self.src[mask], self.dst[mask], num_vertices=self.num_vertices)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Graph(V={self.num_vertices}, E={self.num_edges})"

@@ -1,0 +1,46 @@
+"""An MR-MPI-style MapReduce engine on the simulated MPI runtime.
+
+The paper maps PaPar onto three backends: Hadoop, MR-MPI (Plimpton & Devine's
+C++ MapReduce-on-MPI library) and raw MPI.  The evaluation uses MR-MPI because
+the driving applications are C++.  This package provides the equivalent:
+
+* :class:`~repro.mapreduce.engine.MRMPIEngine` — per-rank map, hash/range/
+  explicit shuffle over ``alltoall``, grouped reduce; mirrors the
+  ``map -> collate -> reduce`` call sequence of MR-MPI.
+* :class:`~repro.mapreduce.local.LocalEngine` — a serial reference
+  implementation used to check that distributed runs compute the same result.
+* :mod:`~repro.mapreduce.sampling` — the data-sampling machinery from
+  Section III-D (per-node samples approximating the global key distribution
+  to derive balanced reducer ranges).
+* :mod:`~repro.mapreduce.hadoop` — the Hadoop ``InputFormat`` interface shim
+  (``get_splits`` / ``get_record_reader``) mentioned in Section III-A.
+"""
+
+from repro.mapreduce.engine import MRMPIEngine
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.local import LocalEngine
+from repro.mapreduce.partitioner import (
+    ExplicitPartitioner,
+    HashPartitioner,
+    Partitioner,
+    RangePartitioner,
+)
+from repro.mapreduce.hadoop_engine import HadoopCluster, HadoopJobResult
+from repro.mapreduce.rebalance import imbalance, rebalance
+from repro.mapreduce.sampling import reservoir_sample, sample_key_ranges
+
+__all__ = [
+    "HadoopCluster",
+    "HadoopJobResult",
+    "rebalance",
+    "imbalance",
+    "MRMPIEngine",
+    "LocalEngine",
+    "MapReduceJob",
+    "Partitioner",
+    "HashPartitioner",
+    "RangePartitioner",
+    "ExplicitPartitioner",
+    "reservoir_sample",
+    "sample_key_ranges",
+]

@@ -1,0 +1,191 @@
+"""The MR-MPI-style engine: map, collate (shuffle+group), reduce.
+
+One :class:`MRMPIEngine` wraps one rank's :class:`~repro.mpi.Communicator`.
+All ranks call the same methods collectively, exactly like MR-MPI's
+``map() -> collate() -> reduce()`` sequence.  Intermediate data stays
+in memory (MR-MPI's in-core mode), matching the paper's evaluation where
+execution time excludes I/O.
+
+Virtual-time accounting: local phases charge the attached cluster cost model
+(hashing for collate, comparison sort for sorted reduces, a linear pass for
+map), and the shuffle charges network time through the MPI layer itself.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+from repro.errors import MapReduceError
+from repro.mapreduce.partitioner import HashPartitioner, Partitioner
+from repro.mpi.comm import Communicator
+
+#: ``map_fn(item, emit)`` — calls ``emit(key, value)`` zero or more times.
+MapFn = Callable[[Any, Callable[[Any, Any], None]], None]
+#: ``reduce_fn(key, values, emit)`` — calls ``emit(key, value)``.
+ReduceFn = Callable[[Any, list[Any], Callable[[Any, Any], None]], None]
+
+KV = tuple[Any, Any]
+
+
+class MRMPIEngine:
+    """MapReduce primitives for one rank of an SPMD run."""
+
+    def __init__(self, comm: Communicator) -> None:
+        self.comm = comm
+
+    # -- cost charging -------------------------------------------------------
+
+    def _charge(self, single_core_cost: float) -> None:
+        cluster = self.comm.cluster
+        if cluster is not None:
+            self.comm.charge_compute(cluster.compute(single_core_cost))
+
+    def charge_job_overhead(self) -> None:
+        """Fixed per-job scheduling cost (mapper/reducer launch)."""
+        cluster = self.comm.cluster
+        if cluster is not None:
+            self.comm.charge_compute(cluster.cost.job_overhead)
+
+    # -- phases ----------------------------------------------------------------
+
+    def map(self, local_items: Iterable[Any], map_fn: MapFn) -> list[KV]:
+        """Apply ``map_fn`` to this rank's local items; collect emitted pairs."""
+        out: list[KV] = []
+        emit = lambda k, v: out.append((k, v))  # noqa: E731 - tight inner loop
+        count = 0
+        for item in local_items:
+            map_fn(item, emit)
+            count += 1
+        cost = self.comm.cluster.cost if self.comm.cluster else None
+        if cost is not None:
+            self._charge(cost.stream(count))
+        return out
+
+    def combine(self, kv: Sequence[KV], combine_fn: ReduceFn) -> list[KV]:
+        """Map-side combiner: pre-reduce local pairs before the shuffle.
+
+        The classic MapReduce optimization — grouping and reducing each
+        mapper's output locally shrinks the shuffle volume for aggregating
+        reducers (word-count-style jobs).  ``combine_fn`` must be the same
+        shape as the reduce function and associative.
+        """
+        grouped: dict[Any, list[Any]] = {}
+        for k, v in kv:
+            grouped.setdefault(k, []).append(v)
+        out: list[KV] = []
+        emit = lambda k, v: out.append((k, v))  # noqa: E731
+        for k, values in grouped.items():
+            combine_fn(k, values, emit)
+        cost = self.comm.cluster.cost if self.comm.cluster else None
+        if cost is not None:
+            self._charge(cost.hash_group(len(kv)))
+        return out
+
+    def shuffle(self, kv: Sequence[KV], partitioner: Partitioner) -> list[KV]:
+        """Exchange pairs so each lands on the rank chosen by ``partitioner``.
+
+        The reducer space is ``partitioner.num_reducers``; reducers are mapped
+        round-robin onto ranks (``reducer % comm.size``), so more reducers
+        than ranks is fine (the Figure 8 workflow uses ``num_reducers=3``
+        regardless of communicator size).
+        """
+        size = self.comm.size
+        cost = self.comm.cluster.cost if self.comm.cluster else None
+        if cost is not None:
+            self._charge(cost.hash_group(len(kv)))
+        outboxes: list[list[KV]] = [[] for _ in range(size)]
+        for k, v in kv:
+            outboxes[partitioner(k) % size].append((k, v))
+        inboxes = self.comm.alltoall(outboxes)
+        return [pair for box in inboxes for pair in box]
+
+    def group(self, kv: Sequence[KV]) -> list[tuple[Any, list[Any]]]:
+        """Group local pairs by key, preserving first-seen key order."""
+        cost = self.comm.cluster.cost if self.comm.cluster else None
+        if cost is not None:
+            self._charge(cost.hash_group(len(kv)))
+        groups: dict[Any, list[Any]] = {}
+        for k, v in kv:
+            groups.setdefault(k, []).append(v)
+        return list(groups.items())
+
+    def collate(
+        self,
+        kv: Sequence[KV],
+        partitioner: Optional[Partitioner] = None,
+        num_reducers: Optional[int] = None,
+    ) -> list[tuple[Any, list[Any]]]:
+        """MR-MPI ``collate``: shuffle by key, then group locally."""
+        if partitioner is None:
+            partitioner = HashPartitioner(num_reducers or self.comm.size)
+        return self.group(self.shuffle(kv, partitioner))
+
+    def reduce(
+        self, grouped: Sequence[tuple[Any, list[Any]]], reduce_fn: ReduceFn
+    ) -> list[KV]:
+        """Apply ``reduce_fn`` to each local key group."""
+        out: list[KV] = []
+        emit = lambda k, v: out.append((k, v))  # noqa: E731
+        total = 0
+        for k, values in grouped:
+            reduce_fn(k, values, emit)
+            total += len(values)
+        cost = self.comm.cluster.cost if self.comm.cluster else None
+        if cost is not None:
+            self._charge(cost.stream(total))
+        return out
+
+    def sort_local(self, kv: Sequence[KV], *, descending: bool = False) -> list[KV]:
+        """Stable sort of local pairs by key (the reducer-side sort of Fig. 9)."""
+        cost = self.comm.cluster.cost if self.comm.cluster else None
+        if cost is not None:
+            self._charge(cost.sort(len(kv)))
+        return sorted(kv, key=lambda pair: pair[0], reverse=descending)
+
+    # -- convenience -------------------------------------------------------------
+
+    def run_job(
+        self,
+        local_items: Iterable[Any],
+        map_fn: MapFn,
+        reduce_fn: ReduceFn,
+        partitioner: Optional[Partitioner] = None,
+        num_reducers: Optional[int] = None,
+        sort_keys: bool = False,
+        descending: bool = False,
+        combiner: Optional[ReduceFn] = None,
+    ) -> list[KV]:
+        """One full map -> (combine) -> collate -> (sort) -> reduce job."""
+        self.charge_job_overhead()
+        kv = self.map(local_items, map_fn)
+        if combiner is not None:
+            kv = self.combine(kv, combiner)
+        if partitioner is None:
+            partitioner = HashPartitioner(num_reducers or self.comm.size)
+        shuffled = self.shuffle(kv, partitioner)
+        if sort_keys:
+            shuffled = self.sort_local(shuffled, descending=descending)
+        grouped = self.group(shuffled)
+        return self.reduce(grouped, reduce_fn)
+
+    def gather_output(self, local_output: Sequence[Any]) -> Optional[list[Any]]:
+        """Collect per-rank outputs at rank 0, concatenated in rank order."""
+        chunks = self.comm.gather(list(local_output), root=0)
+        if chunks is None:
+            return None
+        return [item for chunk in chunks for item in chunk]
+
+
+def identity_map(item: Any, emit: Callable[[Any, Any], None]) -> None:
+    """Map function for pre-keyed items: expects ``item == (key, value)``."""
+    try:
+        k, v = item
+    except (TypeError, ValueError) as exc:
+        raise MapReduceError(f"identity_map expects (key, value) pairs, got {item!r}") from exc
+    emit(k, v)
+
+
+def identity_reduce(key: Any, values: list[Any], emit: Callable[[Any, Any], None]) -> None:
+    """Reduce function that re-emits every value under its key."""
+    for v in values:
+        emit(key, v)

@@ -1,0 +1,91 @@
+"""Hadoop-style ``InputFormat`` interface (paper Section III-A).
+
+Hadoop asks users to subclass ``InputFormat`` and implement ``getSplits``
+(carve the input file into blocks, one per mapper) and ``getRecordReader``
+(iterate records of one split).  PaPar *supports* this programmatic interface
+but prefers the programming-free input-data configuration file; the
+config-driven formats in :mod:`repro.formats` implement this interface, so
+both interfaces are the same machinery underneath.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Sequence
+
+from repro.errors import MapReduceError
+
+
+@dataclass(frozen=True)
+class InputSplit:
+    """One mapper's slice of the input: ``[start, start + length)`` in units
+    meaningful to the format (bytes for binary files, record index for
+    in-memory data)."""
+
+    source: Any
+    start: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.length < 0:
+            raise MapReduceError(f"invalid split [{self.start}, +{self.length})")
+
+
+class RecordReader:
+    """Iterates the records of one split, yielding mapper inputs."""
+
+    def __iter__(self) -> Iterator[Any]:
+        raise NotImplementedError
+
+
+class InputFormat:
+    """Base class: split the input and read records of each split."""
+
+    def get_splits(self, num_splits: int) -> list[InputSplit]:
+        raise NotImplementedError
+
+    def get_record_reader(self, split: InputSplit) -> RecordReader:
+        raise NotImplementedError
+
+    # -- convenience used by the PaPar runtime ------------------------------
+
+    def records_for_rank(self, rank: int, size: int) -> list[Any]:
+        """All records of the split assigned to ``rank`` in a ``size``-way run."""
+        splits = self.get_splits(size)
+        if len(splits) != size:
+            raise MapReduceError(
+                f"{type(self).__name__}.get_splits produced {len(splits)} splits for {size} ranks"
+            )
+        return list(self.get_record_reader(splits[rank]))
+
+
+class _ListRecordReader(RecordReader):
+    def __init__(self, items: Sequence[Any]) -> None:
+        self._items = items
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._items)
+
+
+class ListInputFormat(InputFormat):
+    """In-memory input: the paper requires supporting in-memory repartitioning
+    of intermediate data, not only file inputs."""
+
+    def __init__(self, items: Sequence[Any]) -> None:
+        self._items = list(items)
+
+    def get_splits(self, num_splits: int) -> list[InputSplit]:
+        if num_splits < 1:
+            raise MapReduceError(f"num_splits must be >= 1, got {num_splits!r}")
+        n = len(self._items)
+        base, extra = divmod(n, num_splits)
+        splits = []
+        start = 0
+        for i in range(num_splits):
+            length = base + (1 if i < extra else 0)
+            splits.append(InputSplit(source=None, start=start, length=length))
+            start += length
+        return splits
+
+    def get_record_reader(self, split: InputSplit) -> RecordReader:
+        return _ListRecordReader(self._items[split.start : split.start + split.length])

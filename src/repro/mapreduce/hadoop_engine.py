@@ -1,0 +1,226 @@
+"""A Hadoop-style local job runner with a disk-based shuffle.
+
+The paper's first backend mapping: "On Hadoop, we implement the interfaces
+of processing structured data by inheriting InputFormat class.  We implement
+those operators in Java, and generate Hadoop jobs for the workflow."
+
+This engine reproduces Hadoop's execution structure in one process:
+
+* the job input is an :class:`~repro.mapreduce.hadoop.InputFormat`;
+  ``get_splits`` carves it into one slice per map task;
+* each **map task** runs the mapper over its split and *spills* its output
+  to disk, one spill file per reducer (the map-side partition);
+* each **reduce task** pulls its spill files from every map task (mapper
+  order), optionally sorts by key, groups, reduces, and writes a
+  ``part-NNNNN`` output file.
+
+The same map/reduce functions run unchanged on
+:class:`~repro.mapreduce.engine.MRMPIEngine`, which is the point of the
+paper's backend abstraction.  (Hadoop's speculative task re-execution is a
+fault-tolerance mechanism with no effect on results; it is out of scope
+here.)
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import shutil
+from dataclasses import dataclass, field
+from typing import Any, Optional, Union
+
+from repro.errors import MapReduceError
+from repro.mapreduce.engine import KV, MapFn, ReduceFn
+from repro.mapreduce.hadoop import InputFormat, ListInputFormat
+from repro.mapreduce.partitioner import HashPartitioner, Partitioner
+
+PathLike = Union[str, os.PathLike]
+
+
+@dataclass
+class JobCounters:
+    """Hadoop-style job counters."""
+
+    map_tasks: int = 0
+    reduce_tasks: int = 0
+    map_input_records: int = 0
+    map_output_records: int = 0
+    reduce_input_groups: int = 0
+    reduce_output_records: int = 0
+    spilled_bytes: int = 0
+
+
+@dataclass
+class HadoopJobResult:
+    """Output of one job: per-reducer output files plus counters."""
+
+    output_dir: str
+    part_files: list[str] = field(default_factory=list)
+    counters: JobCounters = field(default_factory=JobCounters)
+
+    def read_output(self) -> list[KV]:
+        """All output pairs, in reducer order."""
+        out: list[KV] = []
+        for path in self.part_files:
+            with open(path, "rb") as fh:
+                out.extend(pickle.load(fh))
+        return out
+
+
+class HadoopCluster:
+    """A single-process Hadoop stand-in rooted at a working directory."""
+
+    def __init__(self, work_dir: PathLike, num_mappers: int = 4) -> None:
+        if num_mappers < 1:
+            raise MapReduceError(f"num_mappers must be >= 1, got {num_mappers!r}")
+        self.work_dir = os.fspath(work_dir)
+        self.num_mappers = num_mappers
+        self._job_seq = 0
+        os.makedirs(self.work_dir, exist_ok=True)
+
+    # -- job submission --------------------------------------------------------
+
+    def run_job(
+        self,
+        input_format: InputFormat,
+        map_fn: MapFn,
+        reduce_fn: ReduceFn,
+        partitioner: Optional[Partitioner] = None,
+        num_reducers: int = 2,
+        sort_keys: bool = False,
+        descending: bool = False,
+        combiner: Optional[ReduceFn] = None,
+        job_name: str = "job",
+    ) -> HadoopJobResult:
+        """Run one MapReduce job end to end through the disk shuffle."""
+        if num_reducers < 1:
+            raise MapReduceError(f"num_reducers must be >= 1, got {num_reducers!r}")
+        if partitioner is None:
+            partitioner = HashPartitioner(num_reducers)
+        if partitioner.num_reducers != num_reducers:
+            raise MapReduceError(
+                f"partitioner targets {partitioner.num_reducers} reducers, job wants {num_reducers}"
+            )
+        self._job_seq += 1
+        job_dir = os.path.join(self.work_dir, f"{job_name}-{self._job_seq:04d}")
+        spill_dir = os.path.join(job_dir, "spills")
+        output_dir = os.path.join(job_dir, "output")
+        os.makedirs(spill_dir, exist_ok=True)
+        os.makedirs(output_dir, exist_ok=True)
+        counters = JobCounters()
+
+        # -- map phase: one task per split, spill per reducer ----------------
+        splits = input_format.get_splits(self.num_mappers)
+        for task_id, split in enumerate(splits):
+            self._run_map_task(
+                task_id, input_format, split, map_fn, partitioner, spill_dir, counters,
+                combiner=combiner,
+            )
+
+        # -- reduce phase: one task per reducer --------------------------------
+        part_files = []
+        for reducer in range(num_reducers):
+            part_files.append(
+                self._run_reduce_task(
+                    reducer,
+                    len(splits),
+                    reduce_fn,
+                    spill_dir,
+                    output_dir,
+                    counters,
+                    sort_keys=sort_keys,
+                    descending=descending,
+                )
+            )
+        return HadoopJobResult(output_dir=output_dir, part_files=part_files, counters=counters)
+
+    # -- tasks -------------------------------------------------------------------
+
+    def _run_map_task(
+        self,
+        task_id: int,
+        input_format: InputFormat,
+        split,
+        map_fn: MapFn,
+        partitioner: Partitioner,
+        spill_dir: str,
+        counters: JobCounters,
+        combiner: Optional[ReduceFn] = None,
+    ) -> None:
+        counters.map_tasks += 1
+        outputs: list[list[KV]] = [[] for _ in range(partitioner.num_reducers)]
+
+        def emit(k: Any, v: Any) -> None:
+            outputs[partitioner(k)].append((k, v))
+            counters.map_output_records += 1
+
+        for record in input_format.get_record_reader(split):
+            counters.map_input_records += 1
+            map_fn(record, emit)
+        if combiner is not None:
+            # map-side combine: pre-reduce each spill before it hits disk
+            for reducer, pairs in enumerate(outputs):
+                grouped: dict[Any, list[Any]] = {}
+                for k, v in pairs:
+                    grouped.setdefault(k, []).append(v)
+                combined: list[KV] = []
+                c_emit = combined.append
+                for k, values in grouped.items():
+                    combiner(k, values, lambda ck, cv: c_emit((ck, cv)))
+                outputs[reducer] = combined
+        for reducer, pairs in enumerate(outputs):
+            path = self._spill_path(spill_dir, task_id, reducer)
+            payload = pickle.dumps(pairs, protocol=pickle.HIGHEST_PROTOCOL)
+            counters.spilled_bytes += len(payload)
+            with open(path, "wb") as fh:
+                fh.write(payload)
+
+    def _run_reduce_task(
+        self,
+        reducer: int,
+        num_map_tasks: int,
+        reduce_fn: ReduceFn,
+        spill_dir: str,
+        output_dir: str,
+        counters: JobCounters,
+        sort_keys: bool,
+        descending: bool,
+    ) -> str:
+        counters.reduce_tasks += 1
+        # shuffle fetch: pull this reducer's spill from every mapper, in order
+        pairs: list[KV] = []
+        for task_id in range(num_map_tasks):
+            with open(self._spill_path(spill_dir, task_id, reducer), "rb") as fh:
+                pairs.extend(pickle.load(fh))
+        if sort_keys:
+            pairs.sort(key=lambda kv: kv[0], reverse=descending)
+        groups: dict[Any, list[Any]] = {}
+        for k, v in pairs:
+            groups.setdefault(k, []).append(v)
+        counters.reduce_input_groups += len(groups)
+        out: list[KV] = []
+
+        def emit(k: Any, v: Any) -> None:
+            out.append((k, v))
+            counters.reduce_output_records += 1
+
+        for k, values in groups.items():
+            reduce_fn(k, values, emit)
+        path = os.path.join(output_dir, f"part-{reducer:05d}")
+        with open(path, "wb") as fh:
+            pickle.dump(out, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        return path
+
+    @staticmethod
+    def _spill_path(spill_dir: str, task_id: int, reducer: int) -> str:
+        return os.path.join(spill_dir, f"map-{task_id:04d}-r{reducer:04d}.spill")
+
+    # -- chaining ------------------------------------------------------------------
+
+    def chain_input(self, result: HadoopJobResult) -> InputFormat:
+        """The output of one job as the input of the next (job pipelines)."""
+        return ListInputFormat(result.read_output())
+
+    def cleanup(self) -> None:
+        """Remove all job directories."""
+        shutil.rmtree(self.work_dir, ignore_errors=True)

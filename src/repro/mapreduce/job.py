@@ -1,0 +1,87 @@
+"""Declarative MapReduce job description.
+
+The PaPar planner turns each workflow operator into one
+:class:`MapReduceJob` (the paper: "PaPar will generate the workflow which
+will be launched as a sequence of jobs at runtime").  A job is a pure
+description — running it requires an engine, so the same job can execute on
+the distributed :class:`~repro.mapreduce.engine.MRMPIEngine` or the serial
+:class:`~repro.mapreduce.local.LocalEngine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from repro.errors import MapReduceError
+from repro.mapreduce.engine import MapFn, ReduceFn
+
+
+@dataclass
+class MapReduceJob:
+    """One map/shuffle/reduce stage of a workflow.
+
+    Attributes
+    ----------
+    name:
+        Operator id from the workflow configuration (e.g. ``"sort"``).
+    map_fn / reduce_fn:
+        The mapper and reducer bodies.
+    partitioner_factory:
+        Called per run as ``factory(engine, mapped_kv)`` so that partitioners
+        needing global information (sampled sort ranges) can be built
+        collectively at runtime.  ``None`` selects hash partitioning.
+    num_reducers:
+        Reducer count (the workflow's ``num_reducers`` parameter); defaults
+        to the communicator size at run time.
+    sort_keys / descending:
+        Whether reducers see key-sorted input (the ``sort`` operator).
+    """
+
+    name: str
+    map_fn: MapFn
+    reduce_fn: ReduceFn
+    partitioner_factory: Optional[Callable[[Any, Sequence[tuple[Any, Any]]], Any]] = None
+    num_reducers: Optional[int] = None
+    sort_keys: bool = False
+    descending: bool = False
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def run(self, engine: Any, local_items: Sequence[Any]) -> list[tuple[Any, Any]]:
+        """Execute this job on ``engine`` over this rank's local items."""
+        if hasattr(engine, "charge_job_overhead"):
+            engine.charge_job_overhead()
+        kv = engine.map(local_items, self.map_fn)
+        if self.partitioner_factory is not None:
+            partitioner = self.partitioner_factory(engine, kv)
+        else:
+            from repro.mapreduce.partitioner import HashPartitioner
+
+            nred = self.num_reducers
+            if nred is None:
+                comm = getattr(engine, "comm", None)
+                nred = comm.size if comm is not None else 1
+            partitioner = HashPartitioner(nred)
+        shuffled = engine.shuffle(kv, partitioner)
+        if self.sort_keys:
+            shuffled = engine.sort_local(shuffled, descending=self.descending)
+        grouped = engine.group(shuffled)
+        return engine.reduce(grouped, self.reduce_fn)
+
+
+def run_pipeline(
+    jobs: Sequence[MapReduceJob],
+    engine: Any,
+    local_items: Sequence[Any],
+) -> list[tuple[Any, Any]]:
+    """Run jobs back to back, feeding each job's output pairs to the next.
+
+    Matches the paper's runtime: "the jobs are launched one by one following
+    the order defined in the workflow configuration file".
+    """
+    if not jobs:
+        raise MapReduceError("pipeline needs at least one job")
+    current: Sequence[Any] = local_items
+    for job in jobs:
+        current = job.run(engine, current)
+    return list(current)

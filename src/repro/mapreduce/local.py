@@ -1,0 +1,81 @@
+"""Serial reference MapReduce engine.
+
+Computes exactly what a distributed :class:`~repro.mapreduce.engine.MRMPIEngine`
+run computes, without MPI.  Tests use it to check the distributed engine's
+output equivalence; the PaPar code generator also targets it for
+single-process partitioner binaries.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+from repro.mapreduce.engine import KV, MapFn, ReduceFn
+from repro.mapreduce.partitioner import HashPartitioner, Partitioner
+
+
+class LocalEngine:
+    """Single-process MapReduce with the same phase API as MRMPIEngine."""
+
+    size = 1
+
+    def map(self, items: Iterable[Any], map_fn: MapFn) -> list[KV]:
+        out: list[KV] = []
+        emit = lambda k, v: out.append((k, v))  # noqa: E731
+        for item in items:
+            map_fn(item, emit)
+        return out
+
+    def shuffle(self, kv: Sequence[KV], partitioner: Partitioner) -> list[KV]:
+        """Reorder pairs into reducer-bucket order (what a 1-rank shuffle sees)."""
+        buckets: list[list[KV]] = [[] for _ in range(partitioner.num_reducers)]
+        for k, v in kv:
+            buckets[partitioner(k)].append((k, v))
+        return [pair for bucket in buckets for pair in bucket]
+
+    def group(self, kv: Sequence[KV]) -> list[tuple[Any, list[Any]]]:
+        groups: dict[Any, list[Any]] = {}
+        for k, v in kv:
+            groups.setdefault(k, []).append(v)
+        return list(groups.items())
+
+    def collate(
+        self,
+        kv: Sequence[KV],
+        partitioner: Optional[Partitioner] = None,
+        num_reducers: Optional[int] = None,
+    ) -> list[tuple[Any, list[Any]]]:
+        if partitioner is None:
+            partitioner = HashPartitioner(num_reducers or 1)
+        return self.group(self.shuffle(kv, partitioner))
+
+    def reduce(
+        self, grouped: Sequence[tuple[Any, list[Any]]], reduce_fn: ReduceFn
+    ) -> list[KV]:
+        out: list[KV] = []
+        emit = lambda k, v: out.append((k, v))  # noqa: E731
+        for k, values in grouped:
+            reduce_fn(k, values, emit)
+        return out
+
+    def sort_local(self, kv: Sequence[KV], *, descending: bool = False) -> list[KV]:
+        return sorted(kv, key=lambda pair: pair[0], reverse=descending)
+
+    def run_job(
+        self,
+        items: Iterable[Any],
+        map_fn: MapFn,
+        reduce_fn: ReduceFn,
+        partitioner: Optional[Partitioner] = None,
+        num_reducers: Optional[int] = None,
+        sort_keys: bool = False,
+        descending: bool = False,
+    ) -> list[KV]:
+        kv = self.map(items, map_fn)
+        if partitioner is None:
+            partitioner = HashPartitioner(num_reducers or 1)
+        shuffled = self.shuffle(kv, partitioner)
+        if sort_keys:
+            shuffled = self.sort_local(shuffled, descending=descending)
+        grouped = self.group(shuffled)
+        return self.reduce(grouped, reduce_fn)

@@ -1,0 +1,103 @@
+"""Shuffle partitioners: decide which reducer owns each key.
+
+Three kinds appear in the paper's workflows:
+
+* hash partitioning — the MapReduce default (``group`` jobs, Figure 11 step 1);
+* range partitioning — for ``sort`` jobs, with ranges derived from sampling
+  (Figure 9 step 1, Section III-D "Data Sampling");
+* explicit partitioning — the ``distribute`` job simply uses the target
+  partition id as the temporary reduce-key (Figure 9 step 4, Figure 11 step 6).
+"""
+
+from __future__ import annotations
+
+import bisect
+import zlib
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.errors import MapReduceError
+
+
+class Partitioner:
+    """Maps a key to a reducer index in ``[0, num_reducers)``."""
+
+    def __init__(self, num_reducers: int) -> None:
+        if num_reducers < 1:
+            raise MapReduceError(f"num_reducers must be >= 1, got {num_reducers!r}")
+        self.num_reducers = num_reducers
+
+    def __call__(self, key: Any) -> int:
+        raise NotImplementedError
+
+
+def stable_hash(key: Any) -> int:
+    """A process-independent hash (Python's ``hash`` is salted per process)."""
+    if isinstance(key, int):
+        return key & 0x7FFFFFFF
+    if isinstance(key, bytes):
+        return zlib.crc32(key)
+    return zlib.crc32(repr(key).encode("utf-8"))
+
+
+class HashPartitioner(Partitioner):
+    """The MapReduce default: ``stable_hash(key) % num_reducers``."""
+
+    def __call__(self, key: Any) -> int:
+        return stable_hash(key) % self.num_reducers
+
+
+@dataclass(frozen=True)
+class _Boundary:
+    """Marker type documenting that boundaries are inclusive-upper splits."""
+
+
+class RangePartitioner(Partitioner):
+    """Order-preserving partitioner over sampled split points.
+
+    ``boundaries`` holds ``num_reducers - 1`` ascending split keys; reducer
+    ``i`` receives keys in ``(boundaries[i-1], boundaries[i]]``-style ranges
+    (``bisect_left``, so a key equal to a boundary goes to that boundary's
+    bucket).  Produced by :func:`repro.mapreduce.sampling.sample_key_ranges`.
+    """
+
+    def __init__(self, boundaries: Sequence[Any], num_reducers: int) -> None:
+        super().__init__(num_reducers)
+        if len(boundaries) != num_reducers - 1:
+            raise MapReduceError(
+                f"need {num_reducers - 1} boundaries for {num_reducers} reducers, "
+                f"got {len(boundaries)}"
+            )
+        bl = list(boundaries)
+        if any(bl[i] > bl[i + 1] for i in range(len(bl) - 1)):
+            raise MapReduceError("range boundaries must be ascending")
+        self.boundaries = bl
+
+    def __call__(self, key: Any) -> int:
+        return bisect.bisect_left(self.boundaries, key)
+
+
+class ExplicitPartitioner(Partitioner):
+    """The key *is* the reducer id (the ``distribute`` job's reduce-key)."""
+
+    def __call__(self, key: Any) -> int:
+        reducer = int(key)
+        if not (0 <= reducer < self.num_reducers):
+            raise MapReduceError(
+                f"explicit reduce-key {key!r} out of range for {self.num_reducers} reducers"
+            )
+        return reducer
+
+
+class FnPartitioner(Partitioner):
+    """Wrap an arbitrary ``key -> reducer`` callable."""
+
+    def __init__(self, fn: Callable[[Any], int], num_reducers: int) -> None:
+        super().__init__(num_reducers)
+        self._fn = fn
+
+    def __call__(self, key: Any) -> int:
+        reducer = self._fn(key)
+        if not (0 <= reducer < self.num_reducers):
+            raise MapReduceError(f"partitioner returned out-of-range reducer {reducer!r}")
+        return reducer

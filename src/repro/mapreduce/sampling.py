@@ -1,0 +1,73 @@
+"""Data sampling for reducer load balance (paper Section III-D).
+
+For a ``sort`` job the mappers need a temporary reduce-key that corresponds
+to a *range* of the user key, and naive uniform ranges produce badly skewed
+reducers when the key distribution is skewed.  Following the mechanism of
+TopCluster (Gufler et al., ICDE 2012) cited by the paper, every rank samples
+its local data, the samples are combined to approximate the global
+distribution, and reducer boundaries are taken at the sample quantiles.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import MapReduceError
+
+
+def reservoir_sample(
+    items: Sequence[Any], k: int, rng: Optional[np.random.Generator] = None
+) -> list[Any]:
+    """Uniform sample of ``min(k, len(items))`` elements (Algorithm R)."""
+    if k < 0:
+        raise MapReduceError(f"sample size must be non-negative, got {k!r}")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    n = len(items)
+    if n <= k:
+        return list(items)
+    if isinstance(items, np.ndarray):
+        # fast path for large arrays: uniform sample without replacement
+        idx = rng.choice(n, size=k, replace=False)
+        return list(items[idx])
+    # vectorized reservoir: positions i >= k replace slot j ~ U[0, i] if j < k
+    reservoir = list(items[:k])
+    draws = rng.integers(0, np.arange(k, n) + 1)
+    for offset, j in enumerate(draws):
+        if j < k:
+            reservoir[j] = items[k + offset]
+    return reservoir
+
+
+def quantile_boundaries(samples: Sequence[Any], num_reducers: int) -> list[Any]:
+    """Reducer split points at the ``i/num_reducers`` quantiles of ``samples``."""
+    if num_reducers < 1:
+        raise MapReduceError(f"num_reducers must be >= 1, got {num_reducers!r}")
+    if num_reducers == 1:
+        return []
+    if not samples:
+        raise MapReduceError("cannot derive range boundaries from an empty sample")
+    ordered = sorted(samples)
+    n = len(ordered)
+    return [ordered[min(n - 1, (i * n) // num_reducers)] for i in range(1, num_reducers)]
+
+
+def sample_key_ranges(
+    comm,
+    local_keys: Sequence[Any],
+    num_reducers: int,
+    sample_size: int = 1024,
+    seed: int = 0,
+) -> list[Any]:
+    """Distributed boundary derivation: sample locally, allgather, take quantiles.
+
+    Every rank returns the same boundary list (deterministic given ``seed``),
+    suitable for :class:`~repro.mapreduce.partitioner.RangePartitioner`.
+    """
+    rng = np.random.default_rng(seed + 1000 * comm.rank)
+    local = reservoir_sample(local_keys, sample_size, rng)
+    all_samples = [s for chunk in comm.allgather(local) for s in chunk]
+    if not all_samples:
+        raise MapReduceError("no rank contributed samples; is the input empty?")
+    return quantile_boundaries(all_samples, num_reducers)

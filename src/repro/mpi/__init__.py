@@ -1,0 +1,48 @@
+"""A pure-Python, thread-based SPMD MPI runtime.
+
+The paper maps PaPar workflows onto MPI (MVAPICH2) and MR-MPI.  Neither is
+installable here, so this package provides a faithful subset of the mpi4py
+API that the rest of the repo programs against:
+
+* pickle-based lowercase methods (``send``/``recv``/``bcast``/``scatter``/
+  ``gather``/``alltoall``...) for generic Python objects, and
+* buffer-based capitalized methods (``Send``/``Recv``/``Alltoallv``...) for
+  numpy arrays — the "fast path" mirroring the mpi4py tutorial idiom.
+
+Each rank runs as one OS thread; messages move through an in-process
+:class:`~repro.mpi.fabric.Fabric`.  When a :class:`~repro.cluster.ClusterModel`
+is attached, every message also advances per-rank virtual clocks, which is how
+the evaluation figures obtain cluster-scale timings (DESIGN.md §6).
+
+Collectives are implemented with real distributed algorithms (binomial-tree
+broadcast/reduce, dissemination barrier, pairwise all-to-all) so that the
+virtual-time accounting reflects log-p / p-1 step structure, not a magic
+zero-cost shortcut.
+"""
+
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG, PROC_NULL, UNDEFINED
+from repro.mpi.comm import Communicator
+from repro.mpi.launcher import run_mpi
+from repro.mpi.reduce_ops import BAND, BOR, LAND, LOR, MAX, MAXLOC, MIN, MINLOC, PROD, SUM, ReduceOp
+from repro.mpi.status import Status
+
+__all__ = [
+    "Communicator",
+    "run_mpi",
+    "Status",
+    "ReduceOp",
+    "SUM",
+    "PROD",
+    "MAX",
+    "MIN",
+    "MAXLOC",
+    "MINLOC",
+    "LAND",
+    "LOR",
+    "BAND",
+    "BOR",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "PROC_NULL",
+    "UNDEFINED",
+]

@@ -1,0 +1,15 @@
+"""Wildcard and sentinel constants, mirroring their MPI counterparts."""
+
+from __future__ import annotations
+
+#: Match a message from any source rank in ``recv``/``irecv``/``probe``.
+ANY_SOURCE: int = -1
+
+#: Match a message with any tag.
+ANY_TAG: int = -1
+
+#: A null process: sends/receives to it complete immediately and carry no data.
+PROC_NULL: int = -2
+
+#: Color value for ranks excluded from a ``split``.
+UNDEFINED: int = -32766

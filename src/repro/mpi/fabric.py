@@ -1,0 +1,180 @@
+"""In-process message fabric connecting the rank threads.
+
+One :class:`Fabric` backs one communicator.  Sends are *eager*: the payload
+is deposited directly into the destination mailbox, so a sender never blocks
+(matching the buffered semantics mpi4py programs rely on for small and
+medium messages).  Receives block on a per-mailbox condition variable with
+MPI matching rules: ``(source, tag)`` with :data:`~repro.mpi.constants.ANY_SOURCE`
+/ :data:`~repro.mpi.constants.ANY_TAG` wildcards, FIFO (non-overtaking) per
+source.
+
+If any rank dies with an exception the launcher calls :meth:`Fabric.abort`,
+which wakes every blocked receiver with :class:`~repro.errors.MPIError`
+instead of deadlocking the test suite.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.errors import MPIError
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG
+
+
+@dataclass
+class Message:
+    """One in-flight message."""
+
+    source: int
+    tag: int
+    payload: Any
+    nbytes: int
+    #: sender's virtual send timestamp (0.0 when no cluster model is attached)
+    timestamp: float = 0.0
+    #: True for the buffer-protocol ("capitalized") path
+    is_buffer: bool = False
+
+
+class _Mailbox:
+    """Unmatched messages destined for one rank, plus its wakeup condvar."""
+
+    __slots__ = ("lock", "ready", "messages")
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.ready = threading.Condition(self.lock)
+        self.messages: deque[Message] = deque()
+
+
+@dataclass
+class TrafficStats:
+    """Aggregate traffic counters for one fabric (thread-safe via fabric lock)."""
+
+    messages: int = 0
+    bytes: int = 0
+    by_rank_bytes: dict[int, int] = field(default_factory=dict)
+
+    def record(self, source: int, nbytes: int) -> None:
+        self.messages += 1
+        self.bytes += nbytes
+        self.by_rank_bytes[source] = self.by_rank_bytes.get(source, 0) + nbytes
+
+
+class Fabric:
+    """Message transport shared by all ranks of one communicator."""
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise MPIError(f"communicator size must be >= 1, got {size!r}")
+        self.size = size
+        self._mailboxes = [_Mailbox() for _ in range(size)]
+        self._aborted: Optional[BaseException] = None
+        self._stats_lock = threading.Lock()
+        self.stats = TrafficStats()
+        # shared state for split()/collective coordination keyed by caller id
+        self._coord_lock = threading.Lock()
+        self._coord: dict[Any, Any] = {}
+        self._uid = itertools.count()
+
+    # -- transport ---------------------------------------------------------
+
+    def deliver(self, dest: int, msg: Message) -> None:
+        """Deposit ``msg`` in ``dest``'s mailbox and wake any waiting receiver."""
+        self._check_alive()
+        if not (0 <= dest < self.size):
+            raise MPIError(f"destination rank {dest} out of range (size {self.size})")
+        with self._stats_lock:
+            self.stats.record(msg.source, msg.nbytes)
+        box = self._mailboxes[dest]
+        with box.lock:
+            box.messages.append(msg)
+            box.ready.notify_all()
+
+    def _match(self, box: _Mailbox, source: int, tag: int) -> Optional[Message]:
+        """First message matching ``(source, tag)``; FIFO per source rank."""
+        for i, msg in enumerate(box.messages):
+            if source != ANY_SOURCE and msg.source != source:
+                continue
+            if tag != ANY_TAG and msg.tag != tag:
+                continue
+            del box.messages[i]
+            return msg
+        return None
+
+    def collect(self, dest: int, source: int, tag: int, timeout: Optional[float] = None) -> Message:
+        """Block until a matching message arrives for rank ``dest``."""
+        box = self._mailboxes[dest]
+        with box.lock:
+            while True:
+                self._check_alive()
+                msg = self._match(box, source, tag)
+                if msg is not None:
+                    return msg
+                if not box.ready.wait(timeout=timeout or 60.0):
+                    if timeout is not None:
+                        raise MPIError(
+                            f"rank {dest} timed out waiting for message "
+                            f"(source={source}, tag={tag})"
+                        )
+                    # default long wait expired: keep waiting but re-check abort
+                    self._check_alive()
+
+    def probe(self, dest: int, source: int, tag: int) -> Optional[Message]:
+        """Non-destructively look for a matching message (non-blocking)."""
+        box = self._mailboxes[dest]
+        with box.lock:
+            self._check_alive()
+            for msg in box.messages:
+                if source != ANY_SOURCE and msg.source != source:
+                    continue
+                if tag != ANY_TAG and msg.tag != tag:
+                    continue
+                return msg
+            return None
+
+    # -- failure handling ----------------------------------------------------
+
+    def abort(self, exc: BaseException) -> None:
+        """Mark the fabric dead and wake all blocked receivers."""
+        self._aborted = exc
+        for box in self._mailboxes:
+            with box.lock:
+                box.ready.notify_all()
+
+    def _check_alive(self) -> None:
+        if self._aborted is not None:
+            raise MPIError(f"communicator aborted: {self._aborted!r}") from self._aborted
+
+    # -- collective coordination ----------------------------------------------
+
+    def coordinate(self, key: Any, rank: int, value: Any, size: int) -> dict[int, Any]:
+        """Rendezvous: all ``size`` participants deposit ``value`` under ``key``.
+
+        Returns the full ``{rank: value}`` map once everyone has arrived.
+        Used to implement ``split`` without a chicken-and-egg communicator.
+        """
+        with self._coord_lock:
+            entry = self._coord.setdefault(
+                key,
+                {"values": {}, "left": 0, "cv": threading.Condition(self._coord_lock)},
+            )
+            entry["values"][rank] = value
+            if len(entry["values"]) == size:
+                entry["cv"].notify_all()
+            else:
+                while len(entry["values"]) < size:
+                    if not entry["cv"].wait(timeout=60.0):
+                        self._check_alive()
+            values = entry["values"]
+            entry["left"] += 1
+            if entry["left"] == size:
+                del self._coord[key]
+            return values
+
+    def fresh_uid(self) -> int:
+        """A fabric-unique id (used to key coordination rounds)."""
+        return next(self._uid)

@@ -1,0 +1,190 @@
+"""Process-backed SPMD execution: true parallelism for wall-clock runs.
+
+The default launcher runs ranks as threads — ideal for deterministic tests
+and virtual-time accounting, but serialized by the GIL.  This backend runs
+each rank as an OS process connected by pipes, so partitioner kernels
+actually execute in parallel; the wall-clock scalability benchmark uses it.
+
+Semantics match the thread backend with two documented restrictions:
+
+* the rank function, its arguments and all messages must be picklable;
+* ``Communicator.split``/``dup`` are unsupported (they need the shared
+  rendezvous state only threads can share cheaply).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import pickle
+from collections import deque
+from typing import Any, Callable, Optional, Sequence
+
+from repro.cluster.clock import VirtualClock
+from repro.cluster.model import ClusterModel
+from repro.errors import MPIError
+from repro.mpi.comm import Communicator
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG
+from repro.mpi.fabric import Message, TrafficStats
+from repro.mpi.launcher import MPIRun
+
+
+class ProcessFabric:
+    """Per-process fabric endpoint: one inbox queue, peers' queues to send."""
+
+    def __init__(self, rank: int, queues: Sequence[Any]) -> None:
+        self.size = len(queues)
+        self._rank = rank
+        self._queues = queues
+        self._buffer: deque[Message] = deque()
+        self.stats = TrafficStats()
+
+    # -- transport (same interface as the thread Fabric) ---------------------
+
+    def deliver(self, dest: int, msg: Message) -> None:
+        if not (0 <= dest < self.size):
+            raise MPIError(f"destination rank {dest} out of range (size {self.size})")
+        self.stats.record(msg.source, msg.nbytes)
+        self._queues[dest].put(msg)
+
+    def _match_buffer(self, source: int, tag: int) -> Optional[Message]:
+        for i, msg in enumerate(self._buffer):
+            if source != ANY_SOURCE and msg.source != source:
+                continue
+            if tag != ANY_TAG and msg.tag != tag:
+                continue
+            del self._buffer[i]
+            return msg
+        return None
+
+    def collect(self, dest: int, source: int, tag: int, timeout: Optional[float] = None) -> Message:
+        if dest != self._rank:
+            raise MPIError("a process fabric endpoint only receives for its own rank")
+        msg = self._match_buffer(source, tag)
+        if msg is not None:
+            return msg
+        import queue as queue_mod
+
+        while True:
+            try:
+                msg = self._queues[self._rank].get(timeout=timeout or 300.0)
+            except queue_mod.Empty as exc:
+                raise MPIError(
+                    f"rank {dest} timed out waiting for message (source={source}, tag={tag})"
+                ) from exc
+            if (source == ANY_SOURCE or msg.source == source) and (
+                tag == ANY_TAG or msg.tag == tag
+            ):
+                return msg
+            self._buffer.append(msg)
+
+    def probe(self, dest: int, source: int, tag: int) -> Optional[Message]:
+        # drain whatever is immediately available into the local buffer
+        import queue as queue_mod
+
+        while True:
+            try:
+                self._buffer.append(self._queues[self._rank].get_nowait())
+            except queue_mod.Empty:
+                break
+        for msg in self._buffer:
+            if source != ANY_SOURCE and msg.source != source:
+                continue
+            if tag != ANY_TAG and msg.tag != tag:
+                continue
+            return msg
+        return None
+
+    def coordinate(self, key: Any, rank: int, value: Any, size: int):
+        raise MPIError("split()/dup() are not supported on the process backend")
+
+    def abort(self, exc: BaseException) -> None:  # pragma: no cover - parent kills us
+        raise MPIError(f"aborted: {exc!r}")
+
+
+def _process_worker(
+    rank: int,
+    queues: Sequence[Any],
+    result_queue: Any,
+    cluster: Optional[ClusterModel],
+    fn_blob: bytes,
+    args_blob: bytes,
+) -> None:
+    """Entry point of one rank process."""
+    try:
+        fn = pickle.loads(fn_blob)
+        args, kwargs = pickle.loads(args_blob)
+        fabric = ProcessFabric(rank, queues)
+        comm = Communicator(rank, fabric, cluster=cluster, clock=VirtualClock())
+        result = fn(comm, *args, **kwargs)
+        result_queue.put(
+            ("ok", rank, result, comm.clock.now, fabric.stats.messages, fabric.stats.bytes)
+        )
+    except BaseException as exc:  # noqa: BLE001 - shipped to the parent
+        try:
+            result_queue.put(("error", rank, exc, 0.0, 0, 0))
+        except Exception:
+            result_queue.put(("error", rank, MPIError(repr(exc)), 0.0, 0, 0))
+
+
+def run_mpi_processes(
+    fn: Callable[..., Any],
+    size: int,
+    *,
+    cluster: Optional[ClusterModel] = None,
+    args: Sequence[Any] = (),
+    kwargs: Optional[dict[str, Any]] = None,
+    timeout: float = 600.0,
+) -> MPIRun:
+    """Run ``fn(comm, *args, **kwargs)`` on ``size`` rank *processes*."""
+    if size < 1:
+        raise MPIError(f"size must be >= 1, got {size!r}")
+    if cluster is not None and cluster.size != size:
+        raise MPIError(
+            f"cluster model provides {cluster.size} ranks but run was asked for {size}"
+        )
+    ctx = mp.get_context("fork")
+    queues = [ctx.Queue() for _ in range(size)]
+    result_queue = ctx.Queue()
+    fn_blob = pickle.dumps(fn, protocol=pickle.HIGHEST_PROTOCOL)
+    args_blob = pickle.dumps((tuple(args), dict(kwargs or {})), protocol=pickle.HIGHEST_PROTOCOL)
+    procs = [
+        ctx.Process(
+            target=_process_worker,
+            args=(rank, queues, result_queue, cluster, fn_blob, args_blob),
+            daemon=True,
+        )
+        for rank in range(size)
+    ]
+    for p in procs:
+        p.start()
+
+    results: list[Any] = [None] * size
+    clocks = [0.0] * size
+    messages = 0
+    nbytes = 0
+    first_error: Optional[BaseException] = None
+    import queue as queue_mod
+
+    try:
+        for _ in range(size):
+            try:
+                status, rank, payload, clock, msgs, b = result_queue.get(timeout=timeout)
+            except queue_mod.Empty as exc:
+                raise MPIError(f"rank processes did not finish within {timeout}s") from exc
+            if status == "error":
+                first_error = first_error or payload
+            else:
+                results[rank] = payload
+                clocks[rank] = clock
+                messages += msgs
+                nbytes += b
+            if first_error is not None:
+                break
+    finally:
+        for p in procs:
+            p.terminate()
+        for p in procs:
+            p.join(timeout=10.0)
+    if first_error is not None:
+        raise first_error
+    return MPIRun(results=results, clocks=clocks, bytes_moved=nbytes, messages=messages)

@@ -1,0 +1,81 @@
+"""Non-blocking communication requests (``isend``/``irecv`` handles)."""
+
+from __future__ import annotations
+
+from typing import Any, Optional, TYPE_CHECKING
+
+from repro.errors import MPIError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpi.comm import Communicator
+
+
+class Request:
+    """Handle returned by non-blocking operations.
+
+    Sends in this runtime are eager (the payload is already in the destination
+    mailbox when ``isend`` returns), so a send request completes immediately.
+    A receive request performs the blocking match on :meth:`wait`.
+    """
+
+    def __init__(self) -> None:
+        self._done = False
+
+    def test(self) -> tuple[bool, Any]:
+        """Return ``(completed, data)`` without blocking."""
+        raise NotImplementedError
+
+    def wait(self) -> Any:
+        """Block until the operation completes; return received data (or None)."""
+        raise NotImplementedError
+
+    @property
+    def completed(self) -> bool:
+        return self._done
+
+
+class SendRequest(Request):
+    """An already-completed eager send."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._done = True
+
+    def test(self) -> tuple[bool, Any]:
+        return True, None
+
+    def wait(self) -> None:
+        return None
+
+
+class RecvRequest(Request):
+    """A pending receive; the match happens on :meth:`wait` / :meth:`test`."""
+
+    def __init__(self, comm: "Communicator", source: int, tag: int) -> None:
+        super().__init__()
+        self._comm = comm
+        self._source = source
+        self._tag = tag
+        self._data: Any = None
+
+    def test(self) -> tuple[bool, Any]:
+        if self._done:
+            return True, self._data
+        msg = self._comm._fabric.probe(self._comm.rank, self._source, self._tag)
+        if msg is None:
+            return False, None
+        return True, self.wait()
+
+    def wait(self) -> Any:
+        if self._done:
+            return self._data
+        self._data = self._comm.recv(source=self._source, tag=self._tag)
+        self._done = True
+        return self._data
+
+
+def wait_all(requests: list[Request]) -> list[Any]:
+    """Wait for every request; returns their results in order."""
+    if not isinstance(requests, (list, tuple)):
+        raise MPIError("wait_all expects a list of requests")
+    return [req.wait() for req in requests]

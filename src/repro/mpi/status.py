@@ -1,0 +1,29 @@
+"""Receive-status object, mirroring ``MPI.Status``."""
+
+from __future__ import annotations
+
+
+class Status:
+    """Filled in by ``recv``/``probe`` with message metadata."""
+
+    __slots__ = ("source", "tag", "count")
+
+    def __init__(self) -> None:
+        self.source: int = -1
+        self.tag: int = -1
+        self.count: int = 0
+
+    def Get_source(self) -> int:
+        """Source rank of the matched message."""
+        return self.source
+
+    def Get_tag(self) -> int:
+        """Tag of the matched message."""
+        return self.tag
+
+    def Get_count(self) -> int:
+        """Payload size of the matched message in bytes."""
+        return self.count
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Status(source={self.source}, tag={self.tag}, count={self.count})"

@@ -1,0 +1,60 @@
+"""The operator building blocks of PaPar workflows (Table I).
+
+Importing this package registers the standard operators:
+
+* basic: ``Sort``, ``Group``, ``Split``, ``Distribute``;
+* add-on: ``count``, ``max``, ``min``, ``mean``, ``sum``;
+* format: ``orig``, ``pack``, ``unpack``.
+
+Custom operators inherit the base classes in :mod:`repro.ops.base` and are
+either registered programmatically (``register_basic`` et al.) or described
+in a Figure-7-style registration file (:mod:`repro.config.operators`).
+"""
+
+from repro.ops.addons import Count, Max, Mean, Min, Sum
+from repro.ops.base import (
+    AddOnOperator,
+    BasicOperator,
+    FormatOperator,
+    Operator,
+    get_addon,
+    get_basic,
+    get_format,
+    register_addon,
+    register_basic,
+    register_format,
+    registered_names,
+)
+from repro.ops.distribute import Distribute
+from repro.ops.format_ops import Orig, Pack, Unpack
+from repro.ops.group import Group
+from repro.ops.sort import ASCENDING, DESCENDING, Sort
+from repro.ops.split import Split
+
+__all__ = [
+    "Operator",
+    "BasicOperator",
+    "AddOnOperator",
+    "FormatOperator",
+    "Sort",
+    "Group",
+    "Split",
+    "Distribute",
+    "Count",
+    "Max",
+    "Min",
+    "Mean",
+    "Sum",
+    "Orig",
+    "Pack",
+    "Unpack",
+    "ASCENDING",
+    "DESCENDING",
+    "register_basic",
+    "register_addon",
+    "register_format",
+    "get_basic",
+    "get_addon",
+    "get_format",
+    "registered_names",
+]

@@ -1,0 +1,71 @@
+"""Add-on operators: count, max, min, mean, sum (Table I).
+
+Each computes one aggregate per key group and appends it as a new attribute
+on every record of the group — e.g. the hybrid-cut workflow's
+``<addon operator="count" key="vertex_b" attr="indegree"/>`` turns each edge
+``(vertex_a, vertex_b)`` into ``(vertex_a, vertex_b, indegree)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.ops.base import AddOnOperator, register_addon
+
+
+@register_addon
+class Count(AddOnOperator):
+    """Number of elements with the specific key."""
+
+    name = "count"
+    attr_type = "long"
+    needs_field = False
+
+    def compute_group(self, rows: np.ndarray, field: Optional[str]) -> Any:
+        return len(rows)
+
+
+@register_addon
+class Max(AddOnOperator):
+    """Maximum of the specific value field within the group."""
+
+    name = "max"
+    attr_type = "double"
+
+    def compute_group(self, rows: np.ndarray, field: Optional[str]) -> Any:
+        return rows[field].max()
+
+
+@register_addon
+class Min(AddOnOperator):
+    """Minimum of the specific value field within the group."""
+
+    name = "min"
+    attr_type = "double"
+
+    def compute_group(self, rows: np.ndarray, field: Optional[str]) -> Any:
+        return rows[field].min()
+
+
+@register_addon
+class Mean(AddOnOperator):
+    """Average of the specific value field within the group."""
+
+    name = "mean"
+    attr_type = "double"
+
+    def compute_group(self, rows: np.ndarray, field: Optional[str]) -> Any:
+        return rows[field].mean()
+
+
+@register_addon
+class Sum(AddOnOperator):
+    """Sum of the specific value field within the group."""
+
+    name = "sum"
+    attr_type = "double"
+
+    def compute_group(self, rows: np.ndarray, field: Optional[str]) -> Any:
+        return rows[field].sum()

@@ -1,0 +1,42 @@
+"""Distribution and split policies, formalized as stride permutations.
+
+See :mod:`repro.policies.permutation` for the ``L_m^{km}`` machinery
+(Figure 6), :mod:`repro.policies.distr` for the cyclic / block /
+graphVertexCut distribution policies, and :mod:`repro.policies.split_policy`
+for the threshold routing grammar of the ``split`` operator.
+"""
+
+from repro.policies.distr import (
+    BlockPolicy,
+    CyclicPolicy,
+    DistributionPolicy,
+    GraphVertexCutPolicy,
+    get_policy,
+    register_policy,
+)
+from repro.policies.permutation import (
+    apply_permutation_matrix,
+    block_permutation_indices,
+    cyclic_permutation_indices,
+    partition_counts,
+    stride_permutation_indices,
+    stride_permutation_matrix,
+)
+from repro.policies.split_policy import SplitCondition, SplitPolicy
+
+__all__ = [
+    "DistributionPolicy",
+    "CyclicPolicy",
+    "BlockPolicy",
+    "GraphVertexCutPolicy",
+    "get_policy",
+    "register_policy",
+    "stride_permutation_indices",
+    "stride_permutation_matrix",
+    "apply_permutation_matrix",
+    "cyclic_permutation_indices",
+    "block_permutation_indices",
+    "partition_counts",
+    "SplitPolicy",
+    "SplitCondition",
+]

@@ -1,0 +1,116 @@
+"""Distribution policies: which output partition receives each entry.
+
+The paper's ``distribute`` operator is the one operator that does not follow
+the key-value concept; it formalizes its policy as a permutation matrix
+(generated at runtime from the ``policy`` and ``numPartitions`` parameters,
+so the operator's code never changes — Section III-B).
+
+Policies:
+
+* ``cyclic`` (alias ``roundRobin``) — deal entries round-robin, Figure 6(a);
+* ``block`` — contiguous chunks, Figure 6(b);
+* ``graphVertexCut`` — the hybrid-cut distribution: applied per input stream
+  (packed low-degree groups and flat high-degree edges), cyclic within each
+  stream, exactly the two matrices ``L_3^4`` / ``L_3^3`` of Figure 11.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import PolicyError
+from repro.policies.permutation import (
+    block_permutation_indices,
+    cyclic_permutation_indices,
+    partition_counts,
+)
+
+
+class DistributionPolicy:
+    """Maps entry positions to partitions via a permutation + counts."""
+
+    name: str = "abstract"
+
+    def permutation(self, n: int, num_partitions: int) -> np.ndarray:
+        """Permutation indices putting each partition's entries contiguously."""
+        raise NotImplementedError
+
+    def counts(self, n: int, num_partitions: int) -> np.ndarray:
+        """Entries per partition, aligned with :meth:`permutation` order."""
+        raise NotImplementedError
+
+    def assign(self, n: int, num_partitions: int) -> np.ndarray:
+        """Partition id of each entry position (derived from the permutation)."""
+        perm = self.permutation(n, num_partitions)
+        counts = self.counts(n, num_partitions)
+        owners = np.empty(n, dtype=np.int64)
+        offsets = np.concatenate(([0], np.cumsum(counts)))
+        for p in range(num_partitions):
+            owners[perm[offsets[p] : offsets[p + 1]]] = p
+        return owners
+
+
+class CyclicPolicy(DistributionPolicy):
+    """Round-robin dealing (the muBLASTP optimized policy)."""
+
+    name = "cyclic"
+
+    def permutation(self, n: int, num_partitions: int) -> np.ndarray:
+        return cyclic_permutation_indices(n, num_partitions)
+
+    def counts(self, n: int, num_partitions: int) -> np.ndarray:
+        return partition_counts(n, num_partitions, "cyclic")
+
+
+class BlockPolicy(DistributionPolicy):
+    """Contiguous chunks (the muBLASTP default policy)."""
+
+    name = "block"
+
+    def permutation(self, n: int, num_partitions: int) -> np.ndarray:
+        if num_partitions < 1:
+            raise PolicyError(f"num_partitions must be >= 1, got {num_partitions!r}")
+        return block_permutation_indices(n)
+
+    def counts(self, n: int, num_partitions: int) -> np.ndarray:
+        return partition_counts(n, num_partitions, "block")
+
+
+class GraphVertexCutPolicy(CyclicPolicy):
+    """Hybrid-cut distribution: cyclic dealing applied per input stream.
+
+    Low-degree entries arrive packed (one entry = a vertex with all its
+    in-edges, kept together on one partition); high-degree entries arrive
+    unpacked (one entry = one edge, spread across partitions).  The
+    distribute operator applies this same cyclic policy to each stream, so
+    the class only renames :class:`CyclicPolicy`; stream handling lives in
+    the ``Distribute`` operator.
+    """
+
+    name = "graphVertexCut"
+
+
+_POLICIES: dict[str, Callable[[], DistributionPolicy]] = {
+    "cyclic": CyclicPolicy,
+    "roundrobin": CyclicPolicy,
+    "block": BlockPolicy,
+    "graphvertexcut": GraphVertexCutPolicy,
+}
+
+
+def get_policy(name: str) -> DistributionPolicy:
+    """Look up a distribution policy by its configuration-file name."""
+    factory = _POLICIES.get(name.strip().lower())
+    if factory is None:
+        raise PolicyError(f"unknown distribution policy {name!r}; known: {sorted(_POLICIES)}")
+    return factory()
+
+
+def register_policy(name: str, factory: Callable[[], DistributionPolicy]) -> None:
+    """Register a user-defined distribution policy (extensibility hook)."""
+    key = name.strip().lower()
+    if key in _POLICIES:
+        raise PolicyError(f"policy {name!r} is already registered")
+    _POLICIES[key] = factory

@@ -1,0 +1,71 @@
+"""Smith-Waterman traceback alignments."""
+
+import numpy as np
+import pytest
+
+from repro.blast import encode
+from repro.blast.align import smith_waterman
+from repro.blast.gapped import banded_gapped_score
+from repro.blast.scoring import BLOSUM62
+from repro.errors import PaParError
+
+
+class TestSmithWaterman:
+    def test_identical(self):
+        seq = encode("MKVLAARNDW")
+        aln = smith_waterman(seq, seq)
+        assert aln.score == int(BLOSUM62[seq, seq].sum())
+        assert aln.identity_fraction == 1.0
+        assert aln.gaps == 0
+        assert aln.query_aligned == "MKVLAARNDW"
+        assert aln.match_line == "|" * 10
+
+    def test_substitution_marked(self):
+        q = encode("MKVL")
+        s = encode("MKIL")  # V->I is a positive BLOSUM62 substitution (+3)
+        aln = smith_waterman(q, s)
+        assert aln.identities == 3
+        assert aln.positives == 4
+        assert "+" in aln.match_line
+
+    def test_gap_in_alignment(self):
+        q = encode("MKVLAARNDW")
+        s = encode("MKVLARNDW")  # one 'A' deleted
+        aln = smith_waterman(q, s)
+        assert aln.gaps == 1
+        assert "-" in aln.subject_aligned
+        assert len(aln.query_aligned) == len(aln.subject_aligned)
+
+    def test_local_alignment_clips_ends(self):
+        q = encode("PPPP" + "MKVLAARNDW" + "GGGG")
+        s = encode("MKVLAARNDW")
+        aln = smith_waterman(q, s)
+        assert aln.query_aligned == "MKVLAARNDW"
+        assert aln.query_start == 4
+
+    def test_score_at_least_banded(self):
+        """The unrestricted DP dominates the banded approximation."""
+        rng = np.random.default_rng(1)
+        q = rng.integers(0, 20, size=50).astype(np.uint8)
+        s = rng.integers(0, 20, size=60).astype(np.uint8)
+        assert smith_waterman(q, s).score >= banded_gapped_score(q, s, band=4)
+
+    def test_pretty_renders_blocks(self):
+        seq = encode("MKVLAARNDW" * 8)
+        text = smith_waterman(seq, seq).pretty(width=30)
+        assert "Score =" in text
+        assert text.count("Query") == (80 + 29) // 30
+
+    def test_alignment_lines_consistent(self):
+        rng = np.random.default_rng(2)
+        q = rng.integers(0, 20, size=40).astype(np.uint8)
+        s = rng.integers(0, 20, size=40).astype(np.uint8)
+        aln = smith_waterman(q, s)
+        assert len(aln.query_aligned) == len(aln.match_line) == len(aln.subject_aligned)
+        # gap characters never face each other
+        for qc, sc in zip(aln.query_aligned, aln.subject_aligned):
+            assert not (qc == "-" and sc == "-")
+
+    def test_empty_rejected(self):
+        with pytest.raises(PaParError):
+            smith_waterman(encode(""), encode("MK"))

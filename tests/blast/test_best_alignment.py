@@ -1,0 +1,44 @@
+"""best_alignment: the search index's full-report path."""
+
+import numpy as np
+import pytest
+
+from repro.blast import PartitionIndex, generate_database
+from repro.blast.search import best_alignment
+
+
+@pytest.fixture(scope="module")
+def db():
+    return generate_database("env_nr", num_sequences=80, seed=55)
+
+
+class TestBestAlignment:
+    def test_self_query_aligns_to_itself(self, db):
+        index = PartitionIndex(db)
+        i = int(np.argmax(db.seq_size))
+        subject_id, aln = best_alignment(index, db.sequence(i).copy())
+        assert subject_id == i
+        assert aln.identity_fraction == 1.0
+        assert aln.gaps == 0
+        assert "Score =" in aln.pretty()
+
+    def test_mutated_query_still_finds_source(self, db):
+        index = PartitionIndex(db)
+        i = int(np.argmax(db.seq_size))
+        query = db.sequence(i).copy()
+        # mutate 5% of residues
+        rng = np.random.default_rng(1)
+        pos = rng.choice(len(query), size=max(1, len(query) // 20), replace=False)
+        query[pos] = (query[pos] + 1) % 20
+        subject_id, aln = best_alignment(index, query)
+        assert subject_id == i
+        assert aln.identity_fraction > 0.85
+
+    def test_no_seeds_returns_none(self):
+        from repro.blast import build_index, encode, extract_partition
+
+        db = generate_database("env_nr", num_sequences=1, seed=0)
+        empty = extract_partition(db, build_index(db)[:0])
+        index = PartitionIndex(empty)
+        subject_id, aln = best_alignment(index, encode("MKVLAARNDW"))
+        assert subject_id is None and aln is None

@@ -1,0 +1,52 @@
+"""Distributed muBLASTP search driver."""
+
+import numpy as np
+import pytest
+
+from repro.blast import generate_database, make_batch
+from repro.blast.driver import distributed_search
+from repro.cluster import ClusterModel, INFINIBAND_QDR
+from repro.errors import PaParError
+
+
+@pytest.fixture(scope="module")
+def db():
+    return generate_database("nr", num_sequences=300, seed=19, length_clustering=0.95)
+
+
+@pytest.fixture(scope="module")
+def queries(db):
+    return make_batch(db, "mixed", batch_size=6, seed=4)
+
+
+class TestDistributedSearch:
+    def test_results_independent_of_partitioning(self, db, queries):
+        """Hit totals are a property of the database, not its partitioning."""
+        a = distributed_search(db, queries, num_partitions=4, policy="cyclic")
+        b = distributed_search(db, queries, num_partitions=4, policy="block")
+        c = distributed_search(db, queries, num_partitions=8, policy="cyclic")
+        assert a.total.num_hits == b.total.num_hits == c.total.num_hits
+        assert a.total.best_score == b.total.best_score == c.total.best_score
+
+    def test_makespan_is_slowest_partition(self, db, queries):
+        result = distributed_search(db, queries, num_partitions=4)
+        assert result.makespan == pytest.approx(max(result.per_partition_seconds))
+
+    def test_cyclic_beats_block_makespan(self, db, queries):
+        cyc = distributed_search(db, queries, num_partitions=8, policy="cyclic")
+        blk = distributed_search(db, queries, num_partitions=8, policy="block")
+        assert cyc.makespan < blk.makespan
+
+    def test_virtual_time_with_cluster(self, db, queries):
+        cluster = ClusterModel(num_nodes=2, ranks_per_node=2, network=INFINIBAND_QDR)
+        result = distributed_search(db, queries, num_partitions=4, cluster=cluster)
+        assert result.makespan > 0
+        # the cluster's per-rank threads shrink the virtual search time
+        serial = distributed_search(db, queries, num_partitions=4)
+        assert result.makespan < max(serial.per_partition_seconds)
+
+    def test_validation(self, db, queries):
+        with pytest.raises(PaParError):
+            distributed_search(db, queries, num_partitions=0)
+        with pytest.raises(PaParError):
+            distributed_search(db, [], num_partitions=2)

@@ -1,0 +1,153 @@
+"""Karlin-Altschul statistics, gapped extension, FASTA round trips."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.blast import encode, generate_database
+from repro.blast.fasta import read_fasta, write_fasta
+from repro.blast.gapped import banded_gapped_score, gapped_extend_seed
+from repro.blast.statistics import (
+    K_UNGAPPED,
+    LAMBDA_UNGAPPED,
+    bit_score,
+    e_value,
+    karlin_lambda,
+    significant,
+)
+from repro.errors import PaParError
+
+
+class TestKarlinAltschul:
+    def test_lambda_matches_published_value(self):
+        """Deriving lambda from BLOSUM62 + background frequencies must land
+        near the NCBI ungapped value 0.3176."""
+        lam = karlin_lambda()
+        assert lam == pytest.approx(LAMBDA_UNGAPPED, abs=0.02)
+
+    def test_lambda_requires_negative_drift(self):
+        good = np.ones((2, 2))
+        with pytest.raises(PaParError, match="negative"):
+            karlin_lambda(scores=good, freqs=np.array([0.5, 0.5]))
+
+    def test_bit_score_monotone(self):
+        assert bit_score(100) > bit_score(50) > bit_score(10)
+
+    def test_e_value_decreases_with_score(self):
+        e1 = e_value(30, 100, 1_000_000)
+        e2 = e_value(60, 100, 1_000_000)
+        assert e2 < e1
+
+    def test_e_value_grows_with_search_space(self):
+        assert e_value(50, 100, 10_000_000) > e_value(50, 100, 10_000)
+
+    def test_known_magnitude(self):
+        """A raw score of 52 is ~27 bits under the ungapped parameters."""
+        bits = bit_score(52)
+        assert 25 < bits < 29
+        e = e_value(52, 100, 1_000_000)
+        assert math.isclose(e, 100 * 1e6 * 2**-bits, rel_tol=1e-12)
+
+    def test_significance_threshold(self):
+        assert significant(100, 100, 1_000_000)
+        assert not significant(10, 100, 1_000_000)
+
+    def test_invalid_lengths(self):
+        with pytest.raises(PaParError):
+            e_value(50, 0, 100)
+
+
+class TestGappedExtension:
+    def test_identical_sequences_score_diagonal(self):
+        seq = encode("MKVLAARNDWQRHGG")
+        from repro.blast.scoring import BLOSUM62
+
+        expected = int(BLOSUM62[seq, seq].sum())
+        assert banded_gapped_score(seq, seq) == expected
+
+    def test_gap_recovered(self):
+        """A single deletion must not destroy the alignment score."""
+        q = encode("MKVLAARNDWQRHGGFFPPK")
+        s = encode("MKVLAARNDQRHGGFFPPK")  # 'W' deleted
+        gapped = banded_gapped_score(q, s, band=8)
+        # ungapped same-diagonal score collapses after the indel
+        from repro.blast.scoring import BLOSUM62
+
+        n = min(len(q), len(s))
+        ungapped = 0
+        best_prefix = 0
+        for i in range(n):
+            ungapped += int(BLOSUM62[q[i], s[i]])
+            best_prefix = max(best_prefix, ungapped)
+        assert gapped > best_prefix
+
+    def test_unrelated_sequences_low_score(self):
+        q = encode("WWWWWWWWWW")
+        s = encode("PPPPPPPPPP")
+        assert banded_gapped_score(q, s) == 0
+
+    def test_band_limits_offsets(self):
+        """A shift larger than the band is invisible to the kernel."""
+        core = "MKVLAARNDWQRHGG"
+        q = encode(core)
+        s = encode("A" * 40 + core)  # shifted far outside the band
+        assert banded_gapped_score(q, s, band=4) < 15
+
+    def test_seed_window_extension(self):
+        db_seq = encode("PPPPP" + "MKVLAARNDW" + "GGGGG")
+        query = encode("MKVLAARNDW")
+        score = gapped_extend_seed(query, db_seq, q_pos=0, d_pos=5)
+        from repro.blast.scoring import BLOSUM62
+
+        assert score >= int(BLOSUM62[query, query].sum())
+
+    def test_invalid_band(self):
+        with pytest.raises(PaParError):
+            banded_gapped_score(encode("MK"), encode("MK"), band=0)
+
+    def test_empty_sequences(self):
+        assert banded_gapped_score(encode(""), encode("MK")) == 0
+
+
+class TestFasta:
+    def test_roundtrip(self, tmp_path):
+        db = generate_database("env_nr", num_sequences=25, seed=44)
+        path = tmp_path / "db.fasta"
+        write_fasta(path, db)
+        back = read_fasta(path, name="env_nr")
+        assert back.num_sequences == db.num_sequences
+        np.testing.assert_array_equal(back.seq_size, db.seq_size)
+        for i in range(db.num_sequences):
+            np.testing.assert_array_equal(back.sequence(i), db.sequence(i))
+            assert back.description(i) == db.description(i)
+
+    def test_long_lines_wrapped(self, tmp_path):
+        db = generate_database("nr", num_sequences=3, seed=45)
+        path = tmp_path / "db.fasta"
+        write_fasta(path, db)
+        assert all(len(l) <= 61 for l in path.read_text().splitlines())
+
+    def test_empty_record_rejected(self, tmp_path):
+        path = tmp_path / "bad.fasta"
+        path.write_text(">a\n>b\nMKV\n")
+        with pytest.raises(PaParError, match="empty"):
+            read_fasta(path)
+
+    def test_data_before_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.fasta"
+        path.write_text("MKV\n>a\nMKV\n")
+        with pytest.raises(PaParError, match="header"):
+            read_fasta(path)
+
+    def test_no_records(self, tmp_path):
+        path = tmp_path / "empty.fasta"
+        path.write_text("\n\n")
+        with pytest.raises(PaParError, match="no FASTA"):
+            read_fasta(path)
+
+    def test_trailing_empty_record_rejected(self, tmp_path):
+        path = tmp_path / "bad.fasta"
+        path.write_text(">a\nMKV\n>b\n")
+        with pytest.raises(PaParError, match="empty"):
+            read_fasta(path)

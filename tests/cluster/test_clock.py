@@ -1,0 +1,67 @@
+"""VirtualClock invariants."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cluster import VirtualClock
+from repro.errors import ClusterError
+
+
+def test_starts_at_zero():
+    assert VirtualClock().now == 0.0
+
+
+def test_advance_accumulates():
+    c = VirtualClock()
+    c.advance(1.5)
+    c.advance(0.5)
+    assert c.now == pytest.approx(2.0)
+
+
+def test_negative_advance_rejected():
+    with pytest.raises(ClusterError):
+        VirtualClock().advance(-1)
+
+
+def test_negative_start_rejected():
+    with pytest.raises(ClusterError):
+        VirtualClock(-0.1)
+
+
+def test_merge_takes_max():
+    c = VirtualClock(5.0)
+    c.merge(3.0)
+    assert c.now == 5.0
+    c.merge(7.0)
+    assert c.now == 7.0
+
+
+def test_reset():
+    c = VirtualClock(9.0)
+    c.reset()
+    assert c.now == 0.0
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False), max_size=30))
+def test_clock_is_monotone_under_any_advance_sequence(steps):
+    c = VirtualClock()
+    last = 0.0
+    for s in steps:
+        c.advance(s)
+        assert c.now >= last
+        last = c.now
+
+
+@given(
+    st.floats(min_value=0, max_value=1e6),
+    st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False), max_size=30),
+)
+def test_merge_never_decreases(start, timestamps):
+    c = VirtualClock(start)
+    last = c.now
+    for ts in timestamps:
+        c.merge(ts)
+        assert c.now >= last
+        assert c.now >= ts or c.now == last
+        last = c.now

@@ -1,0 +1,129 @@
+"""Programmatic workflow construction (WorkflowBuilder)."""
+
+import pytest
+
+from repro import PaPar
+from repro.config import BLAST_INPUT_XML, EDGE_INPUT_XML, parse_workflow_config
+from repro.config.builder import WorkflowBuilder
+from repro.config.examples import BLAST_WORKFLOW_XML, HYBRID_CUT_WORKFLOW_XML
+from repro.config.serialize import workflow_to_xml
+from repro.core.dataset import Dataset
+from repro.errors import WorkflowError
+from repro.formats import BLAST_INDEX_SCHEMA, EDGE_LIST_SCHEMA
+
+
+def build_blast_workflow():
+    return (
+        WorkflowBuilder("blast_built")
+        .argument("input_path", type="hdfs", format="blast_db")
+        .argument("output_path", type="hdfs", format="blast_db")
+        .argument("num_partitions", type="integer")
+        .sort("sort", key="seq_size", input_path="$input_path", output_path="/tmp/sorted")
+        .distribute(
+            "distr",
+            policy="roundRobin",
+            num_partitions="$num_partitions",
+            input_path="$sort.outputPath",
+            output_path="$output_path",
+        )
+        .build()
+    )
+
+
+def build_hybrid_workflow():
+    return (
+        WorkflowBuilder("hybrid_built")
+        .argument("input_file", type="hdfs", format="graph_edge")
+        .argument("output_path", type="hdfs", format="graph_edge")
+        .argument("num_partitions", type="integer")
+        .argument("threshold", type="integer")
+        .group(
+            "group",
+            key="vertex_b",
+            input_path="$input_file",
+            output_path="/tmp/group",
+            addons=[("count", "indegree", None)],
+        )
+        .split(
+            "split",
+            key="$group.$indegree",
+            policy="{>=, $threshold},{<, $threshold}",
+            output_paths=["/tmp/split/high", "/tmp/split/low"],
+            output_formats=["unpack", "orig"],
+            input_path="$group.outputPath",
+        )
+        .distribute(
+            "distr",
+            policy="graphVertexCut",
+            num_partitions="$num_partitions",
+            input_path="/tmp/split/",
+            output_path="$output_path",
+        )
+        .build()
+    )
+
+
+@pytest.fixture
+def papar():
+    p = PaPar()
+    p.register_input(BLAST_INPUT_XML)
+    p.register_input(EDGE_INPUT_XML)
+    return p
+
+
+class TestBuilder:
+    def test_built_blast_equals_xml_version(self, papar):
+        rows = [(i, (i * 37) % 100 + 1, i, 1) for i in range(40)]
+        data = Dataset.from_rows(BLAST_INDEX_SCHEMA, rows)
+        args = {"input_path": "/in", "output_path": "/out", "num_partitions": 3}
+        built = papar.run(build_blast_workflow(), args, data=data)
+        xml = papar.run(BLAST_WORKFLOW_XML, args, data=data)
+        assert [p.rows() for p in built.partitions] == [p.rows() for p in xml.partitions]
+
+    def test_built_hybrid_equals_xml_version(self, papar):
+        edges = [(2, 1), (3, 1), (4, 1), (5, 1), (1, 2), (3, 2), (1, 6)]
+        data = Dataset.from_rows(EDGE_LIST_SCHEMA, edges)
+        args = {
+            "input_file": "/in", "output_path": "/out",
+            "num_partitions": 3, "threshold": 4,
+        }
+        built = papar.run(build_hybrid_workflow(), args, data=data)
+        xml = papar.run(HYBRID_CUT_WORKFLOW_XML, args, data=data)
+        assert [p.rows() for p in built.partitions] == [p.rows() for p in xml.partitions]
+
+    def test_serializes_and_reparses(self):
+        spec = build_blast_workflow()
+        xml = workflow_to_xml(spec)
+        back = parse_workflow_config(xml)
+        assert back.id == spec.id
+        assert [op.id for op in back.operators] == ["sort", "distr"]
+
+    def test_descending_sort_flag(self):
+        spec = (
+            WorkflowBuilder("w")
+            .sort("s", key="k", descending=True)
+            .build()
+        )
+        assert spec.operator("s").param_value("flag") == "1"
+
+    def test_num_reducers_attribute(self):
+        spec = WorkflowBuilder("w").sort("s", key="k", num_reducers="$n").build()
+        assert spec.operator("s").attrs["num_reducers"] == "$n"
+
+    def test_duplicate_argument_rejected(self):
+        b = WorkflowBuilder("w").argument("a")
+        with pytest.raises(WorkflowError, match="twice"):
+            b.argument("a")
+
+    def test_duplicate_operator_rejected(self):
+        b = WorkflowBuilder("w").sort("s", key="k")
+        with pytest.raises(WorkflowError, match="twice"):
+            b.sort("s", key="k2")
+
+    def test_empty_build_rejected(self):
+        with pytest.raises(WorkflowError, match="no operators"):
+            WorkflowBuilder("w").build()
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(WorkflowError):
+            WorkflowBuilder("")

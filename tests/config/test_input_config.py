@@ -1,0 +1,98 @@
+"""Input-data configuration parsing (Figures 4 and 5)."""
+
+import pytest
+
+from repro.config import BLAST_INPUT_XML, EDGE_INPUT_XML, load_input_config, parse_input_config
+from repro.errors import ConfigError
+
+
+class TestBlastConfig:
+    def test_figure4(self):
+        schema = parse_input_config(BLAST_INPUT_XML)
+        assert schema.id == "blast_db"
+        assert schema.input_format == "binary"
+        assert schema.start_position == 32
+        assert schema.field_names == ("seq_start", "seq_size", "desc_start", "desc_size")
+        assert schema.itemsize == 16  # 4 bytes/integer * 4 integers
+
+
+class TestEdgeConfig:
+    def test_figure5(self):
+        schema = parse_input_config(EDGE_INPUT_XML)
+        assert schema.id == "graph_edge"
+        assert schema.input_format == "text"
+        assert schema.field_names == ("vertex_a", "vertex_b")
+        assert schema.effective_delimiters() == ("\t", "\n")
+
+    def test_string_typed_variant(self):
+        xml = EDGE_INPUT_XML.replace('type="long"', 'type="String"')
+        schema = parse_input_config(xml)
+        assert all(f.type == "string" for f in schema.fields)
+
+
+class TestNestedElements:
+    def test_nested_flattened_with_prefix(self):
+        xml = """
+        <input id="nested">
+          <input_format>binary</input_format>
+          <element>
+            <value name="id" type="integer"/>
+            <element name="range">
+              <value name="lo" type="integer"/>
+              <value name="hi" type="integer"/>
+            </element>
+          </element>
+        </input>
+        """
+        schema = parse_input_config(xml)
+        assert schema.field_names == ("id", "range__lo", "range__hi")
+        assert schema.itemsize == 12
+
+
+class TestErrors:
+    def test_malformed_xml(self):
+        with pytest.raises(ConfigError, match="malformed"):
+            parse_input_config("<input><unclosed>")
+
+    def test_wrong_root(self):
+        with pytest.raises(ConfigError, match="root"):
+            parse_input_config("<data/>")
+
+    def test_missing_id(self):
+        with pytest.raises(ConfigError, match="id"):
+            parse_input_config("<input><element><value name='a' type='integer'/></element></input>")
+
+    def test_missing_element(self):
+        with pytest.raises(ConfigError, match="element"):
+            parse_input_config("<input id='x'><input_format>binary</input_format></input>")
+
+    def test_bad_format(self):
+        with pytest.raises(ConfigError, match="input_format"):
+            parse_input_config(
+                "<input id='x'><input_format>csv</input_format>"
+                "<element><value name='a' type='integer'/></element></input>"
+            )
+
+    def test_bad_start_position(self):
+        with pytest.raises(ConfigError, match="start_position"):
+            parse_input_config(
+                "<input id='x'><start_position>ten</start_position>"
+                "<element><value name='a' type='integer'/></element></input>"
+            )
+
+    def test_value_missing_attrs(self):
+        with pytest.raises(ConfigError, match="value"):
+            parse_input_config("<input id='x'><element><value name='a'/></element></input>")
+
+    def test_unexpected_tag(self):
+        with pytest.raises(ConfigError, match="unexpected"):
+            parse_input_config(
+                "<input id='x'><element><field name='a' type='integer'/></element></input>"
+            )
+
+
+def test_load_from_disk(tmp_path):
+    path = tmp_path / "blast.xml"
+    path.write_text(BLAST_INPUT_XML)
+    schema = load_input_config(path)
+    assert schema.id == "blast_db"

@@ -1,0 +1,94 @@
+"""Custom operator registration (Figure 7)."""
+
+import pytest
+
+from repro.config import parse_operator_config
+from repro.errors import ConfigError, OperatorError
+
+FIGURE7_XML = """\
+<prog id="Sort" type="operator" name="MapReduce sort operator">
+  <import module="repro.ops.sort" class="Sort"/>
+  <arguments>
+    <param name="inputPath" type="String"/>
+    <param name="outputPath" type="String"/>
+    <param name="keyId" type="KeyId"/>
+    <param name="ascending" type="boolean" default="true"/>
+  </arguments>
+</prog>
+"""
+
+
+class TestParse:
+    def test_figure7(self):
+        reg = parse_operator_config(FIGURE7_XML)
+        assert reg.id == "Sort"
+        assert reg.module == "repro.ops.sort"
+        assert reg.class_name == "Sort"
+        assert [a.name for a in reg.arguments] == [
+            "inputPath",
+            "outputPath",
+            "keyId",
+            "ascending",
+        ]
+        assert reg.argument("ascending").default == "true"
+        assert not reg.argument("ascending").required
+        assert reg.argument("inputPath").required
+
+    def test_package_attribute_accepted(self):
+        xml = FIGURE7_XML.replace('module="repro.ops.sort"', 'package="repro.ops.sort"')
+        assert parse_operator_config(xml).module == "repro.ops.sort"
+
+    def test_missing_argument_lookup(self):
+        reg = parse_operator_config(FIGURE7_XML)
+        with pytest.raises(OperatorError):
+            reg.argument("nope")
+
+
+class TestLoadClass:
+    def test_loads_real_operator(self):
+        reg = parse_operator_config(FIGURE7_XML)
+        cls = reg.load_class()
+        from repro.ops.base import Operator
+
+        assert issubclass(cls, Operator)
+
+    def test_missing_module(self):
+        xml = FIGURE7_XML.replace("repro.ops.sort", "repro.no_such_module")
+        with pytest.raises(OperatorError, match="import"):
+            parse_operator_config(xml).load_class()
+
+    def test_missing_class(self):
+        xml = FIGURE7_XML.replace('class="Sort"', 'class="NoSuchClass"')
+        with pytest.raises(OperatorError, match="no class"):
+            parse_operator_config(xml).load_class()
+
+    def test_non_operator_class_rejected(self):
+        xml = """
+        <prog id="X" type="operator">
+          <import module="pathlib" class="Path"/>
+        </prog>
+        """
+        with pytest.raises(OperatorError, match="inherit"):
+            parse_operator_config(xml).load_class()
+
+
+class TestErrors:
+    def test_wrong_root(self):
+        with pytest.raises(ConfigError):
+            parse_operator_config("<prog type='job' id='x'/>")
+
+    def test_missing_import(self):
+        with pytest.raises(ConfigError, match="import"):
+            parse_operator_config("<prog id='x' type='operator'/>")
+
+    def test_missing_class_attr(self):
+        with pytest.raises(ConfigError, match="class"):
+            parse_operator_config(
+                "<prog id='x' type='operator'><import module='m'/></prog>"
+            )
+
+    def test_missing_module_attr(self):
+        with pytest.raises(ConfigError, match="module"):
+            parse_operator_config(
+                "<prog id='x' type='operator'><import class='C'/></prog>"
+            )

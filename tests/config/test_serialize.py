@@ -1,0 +1,68 @@
+"""XML serialization round trips for schemas and workflows."""
+
+from repro.config import BLAST_INPUT_XML, EDGE_INPUT_XML, parse_input_config, parse_workflow_config
+from repro.config.examples import BLAST_WORKFLOW_XML, HYBRID_CUT_WORKFLOW_XML
+from repro.config.serialize import schema_to_xml, workflow_to_xml
+
+
+class TestSchemaRoundTrip:
+    def test_blast_schema(self):
+        schema = parse_input_config(BLAST_INPUT_XML)
+        back = parse_input_config(schema_to_xml(schema, name="BLAST Database file"))
+        assert back == schema
+
+    def test_edge_schema_with_delimiters(self):
+        schema = parse_input_config(EDGE_INPUT_XML)
+        xml = schema_to_xml(schema)
+        assert "\\t" in xml  # delimiters escaped, not literal tabs
+        back = parse_input_config(xml)
+        assert back.field_names == schema.field_names
+        assert back.effective_delimiters() == schema.effective_delimiters()
+
+    def test_programmatic_schema(self):
+        from repro.formats import Field, RecordSchema
+
+        schema = RecordSchema(
+            id="custom",
+            fields=(Field("a", "long"), Field("b", "double")),
+            input_format="binary",
+            start_position=8,
+        )
+        back = parse_input_config(schema_to_xml(schema))
+        assert back == schema
+
+
+class TestWorkflowRoundTrip:
+    def _roundtrip(self, xml):
+        spec = parse_workflow_config(xml)
+        return spec, parse_workflow_config(workflow_to_xml(spec))
+
+    def test_blast_workflow(self):
+        spec, back = self._roundtrip(BLAST_WORKFLOW_XML)
+        assert back.id == spec.id
+        assert set(back.arguments) == set(spec.arguments)
+        assert [op.id for op in back.operators] == [op.id for op in spec.operators]
+        assert back.operator("sort").param_value("key") == "seq_size"
+        assert back.operator("sort").attrs == spec.operator("sort").attrs
+
+    def test_hybrid_workflow_with_addons(self):
+        spec, back = self._roundtrip(HYBRID_CUT_WORKFLOW_XML)
+        assert back.operator("group").addons == spec.operator("group").addons
+        assert (
+            back.operator("split").params["outputPathList"].format
+            == spec.operator("split").params["outputPathList"].format
+        )
+        assert back.operator("split").param_value("policy") == spec.operator(
+            "split"
+        ).param_value("policy")
+
+    def test_roundtrip_plans_identically(self):
+        """The re-parsed workflow must plan to the same job sequence."""
+        from repro.core.planner import Planner
+
+        spec, back = self._roundtrip(BLAST_WORKFLOW_XML)
+        args = {"input_path": "/in", "output_path": "/out", "num_partitions": 4}
+        plan_a = Planner().plan(spec, args)
+        plan_b = Planner().plan(back, args)
+        assert [j.op_id for j in plan_a.jobs] == [j.op_id for j in plan_b.jobs]
+        assert plan_a.jobs[1].operator.num_partitions == plan_b.jobs[1].operator.num_partitions

@@ -1,0 +1,158 @@
+"""Workflow configuration parsing and $variable resolution (Figures 8, 10)."""
+
+import pytest
+
+from repro.config import (
+    Bindings,
+    bind_arguments,
+    load_workflow_config,
+    parse_workflow_config,
+)
+from repro.config.examples import BLAST_WORKFLOW_XML, HYBRID_CUT_WORKFLOW_XML
+from repro.errors import ConfigError, WorkflowError
+
+
+class TestBlastWorkflow:
+    def test_figure8_structure(self):
+        wf = parse_workflow_config(BLAST_WORKFLOW_XML)
+        assert wf.id == "blast_partition"
+        assert set(wf.arguments) == {"input_path", "output_path", "num_partitions", "num_reducers"}
+        assert wf.arguments["num_reducers"].value == "3"
+        assert [op.id for op in wf.operators] == ["sort", "distr"]
+        assert wf.operators[0].operator == "Sort"
+        assert wf.operators[0].attrs["num_reducers"] == "$num_reducers"
+        assert wf.operator("sort").param_value("key") == "seq_size"
+        assert wf.operator("distr").param_value("inputPath") == "$sort.outputPath"
+
+    def test_argument_formats_recorded(self):
+        wf = parse_workflow_config(BLAST_WORKFLOW_XML)
+        assert wf.arguments["input_path"].format == "blast_db"
+
+
+class TestHybridCutWorkflow:
+    def test_figure10_structure(self):
+        wf = parse_workflow_config(HYBRID_CUT_WORKFLOW_XML)
+        assert [op.id for op in wf.operators] == ["group", "split", "distr"]
+        group = wf.operator("group")
+        assert group.addons[0].operator == "count"
+        assert group.addons[0].attr == "indegree"
+        assert group.params["outputPath"].format == "pack"
+        split = wf.operator("split")
+        assert split.param_value("key") == "$group.$indegree"
+        assert split.params["outputPathList"].format == "unpack,orig"
+        assert "{>=, $threshold}" in split.param_value("policy")
+
+
+class TestBindings:
+    def test_plain_reference(self):
+        env = Bindings({"input_path": "/data/in"})
+        assert env.resolve("$input_path") == "/data/in"
+
+    def test_dotted_reference(self):
+        env = Bindings({"sort.outputPath": "/user/sort_output"})
+        assert env.resolve("$sort.outputPath") == "/user/sort_output"
+
+    def test_dollar_attr_reference(self):
+        env = Bindings({"group.indegree": "indegree"})
+        assert env.resolve("$group.$indegree") == "indegree"
+
+    def test_native_type_preserved_for_whole_reference(self):
+        env = Bindings({"num_partitions": 16})
+        assert env.resolve("$num_partitions") == 16
+
+    def test_embedded_substitution(self):
+        env = Bindings({"threshold": 200})
+        assert env.resolve("{>=, $threshold},{<, $threshold}") == "{>=, 200},{<, 200}"
+
+    def test_non_string_passthrough(self):
+        env = Bindings()
+        assert env.resolve(42) == 42
+        assert env.resolve(None) is None
+
+    def test_unresolved_raises(self):
+        with pytest.raises(WorkflowError, match="unresolved"):
+            Bindings().resolve("$missing")
+
+    def test_contains(self):
+        env = Bindings({"a.b": 1})
+        assert "$a.$b" in env
+        assert "a.b" in env
+        assert "c" not in env
+
+
+class TestBindArguments:
+    def test_defaults_and_overrides(self):
+        wf = parse_workflow_config(BLAST_WORKFLOW_XML)
+        env = bind_arguments(
+            wf, {"input_path": "/in", "output_path": "/out", "num_partitions": "16"}
+        )
+        assert env.lookup("num_partitions") == 16  # coerced to integer
+        assert env.lookup("num_reducers") == 3  # default from config
+
+    def test_missing_required_argument(self):
+        wf = parse_workflow_config(BLAST_WORKFLOW_XML)
+        with pytest.raises(WorkflowError, match="no value"):
+            bind_arguments(wf, {"input_path": "/in", "output_path": "/out"})
+
+    def test_unknown_argument_rejected(self):
+        wf = parse_workflow_config(BLAST_WORKFLOW_XML)
+        with pytest.raises(WorkflowError, match="unknown"):
+            bind_arguments(wf, {"inputpath_typo": "/in"})
+
+    def test_boolean_coercion(self):
+        from repro.config import ParamSpec
+
+        ps = ParamSpec("flag", type="boolean")
+        assert ps.coerce("true") is True
+        assert ps.coerce("False") is False
+        assert ps.coerce(True) is True
+
+    def test_stringlist_coercion(self):
+        from repro.config import ParamSpec
+
+        ps = ParamSpec("paths", type="StringList")
+        assert ps.coerce("/a, /b") == ["/a", "/b"]
+        assert ps.coerce(["/a"]) == ["/a"]
+
+    def test_bad_integer_coercion(self):
+        from repro.config import ParamSpec
+
+        with pytest.raises(WorkflowError, match="coerce"):
+            ParamSpec("n", type="integer").coerce("many")
+
+
+class TestWorkflowErrors:
+    def test_malformed(self):
+        with pytest.raises(ConfigError, match="malformed"):
+            parse_workflow_config("<workflow")
+
+    def test_wrong_root(self):
+        with pytest.raises(ConfigError, match="root"):
+            parse_workflow_config("<job/>")
+
+    def test_no_operators(self):
+        with pytest.raises(ConfigError, match="operators"):
+            parse_workflow_config("<workflow id='x'><operators/></workflow>")
+
+    def test_duplicate_operator_id(self):
+        xml = """
+        <workflow id="x">
+          <operators>
+            <operator id="a" operator="Sort"/>
+            <operator id="a" operator="Sort"/>
+          </operators>
+        </workflow>
+        """
+        with pytest.raises(ConfigError, match="duplicate"):
+            parse_workflow_config(xml)
+
+    def test_operator_lookup_missing(self):
+        wf = parse_workflow_config(BLAST_WORKFLOW_XML)
+        with pytest.raises(WorkflowError):
+            wf.operator("nope")
+
+
+def test_load_from_disk(tmp_path):
+    path = tmp_path / "wf.xml"
+    path.write_text(BLAST_WORKFLOW_XML)
+    assert load_workflow_config(path).id == "blast_partition"

@@ -1,0 +1,171 @@
+"""End-to-end muBLASTP partitioning workflow (Figures 8 and 9)."""
+
+import numpy as np
+import pytest
+
+from repro import PaPar
+from repro.cluster import ClusterModel, INFINIBAND_QDR
+from repro.config import BLAST_INPUT_XML
+from repro.config.examples import BLAST_WORKFLOW_XML
+from repro.core.dataset import Dataset
+from repro.formats import BLAST_INDEX_SCHEMA
+
+#: the 12 index entries on the left of Figure 9
+FIGURE9_INPUT = [
+    (0, 94, 0, 74),
+    (94, 192, 74, 89),
+    (286, 99, 163, 109),
+    (385, 91, 272, 107),
+    (476, 90, 379, 111),
+    (566, 51, 490, 120),
+    (617, 72, 610, 118),
+    (689, 94, 728, 71),
+    (783, 64, 799, 91),
+    (847, 99, 890, 113),
+    (946, 95, 1003, 104),
+    (1041, 79, 1107, 76),
+]
+
+#: the three output partitions on the right of Figure 9 (reducers of job 2)
+FIGURE9_PARTITIONS = [
+    [
+        (566, 51, 490, 120),
+        (1041, 79, 1107, 76),
+        (0, 94, 0, 74),
+        (286, 99, 163, 109),
+    ],
+    [
+        (783, 64, 799, 91),
+        (476, 90, 379, 111),
+        (689, 94, 728, 71),
+        (847, 99, 890, 113),
+    ],
+    [
+        (617, 72, 610, 118),
+        (385, 91, 272, 107),
+        (946, 95, 1003, 104),
+        (94, 192, 74, 89),
+    ],
+]
+
+
+@pytest.fixture
+def papar():
+    p = PaPar()
+    p.register_input(BLAST_INPUT_XML)
+    return p
+
+
+@pytest.fixture
+def input_ds():
+    return Dataset.from_rows(BLAST_INDEX_SCHEMA, FIGURE9_INPUT)
+
+
+ARGS = {"input_path": "/in", "output_path": "/out", "num_partitions": 3}
+
+
+class TestPlan:
+    def test_two_jobs_wired(self, papar):
+        plan = papar.plan(BLAST_WORKFLOW_XML, ARGS)
+        assert [j.op_id for j in plan.jobs] == ["sort", "distr"]
+        sort, distr = plan.jobs
+        assert sort.operator_name == "Sort"
+        assert sort.operator.key == "seq_size"
+        assert sort.num_reducers == 3  # from the $num_reducers default
+        assert distr.source == "sort"
+        assert distr.operator.num_partitions == 3
+        assert distr.operator.policy.name == "cyclic"  # roundRobin alias
+
+    def test_num_partitions_flows_from_args(self, papar):
+        plan = papar.plan(BLAST_WORKFLOW_XML, {**ARGS, "num_partitions": 7})
+        assert plan.jobs[1].operator.num_partitions == 7
+
+    def test_input_format_recorded(self, papar):
+        plan = papar.plan(BLAST_WORKFLOW_XML, ARGS)
+        assert plan.input_format_id == "blast_db"
+
+
+class TestFigure9Serial:
+    def test_exact_paper_partitions(self, papar, input_ds):
+        result = papar.run(BLAST_WORKFLOW_XML, ARGS, data=input_ds)
+        assert result.num_partitions == 3
+        got = [p.rows() for p in result.partitions]
+        assert got == FIGURE9_PARTITIONS
+
+
+class TestFigure9MPI:
+    @pytest.mark.parametrize("ranks", [1, 2, 3, 4])
+    def test_mpi_matches_paper_partitions(self, papar, input_ds, ranks):
+        result = papar.run(
+            BLAST_WORKFLOW_XML, ARGS, data=input_ds, backend="mpi", num_ranks=ranks
+        )
+        got = [p.rows() for p in result.partitions]
+        assert got == FIGURE9_PARTITIONS
+
+    def test_virtual_time_reported_with_cluster(self, papar, input_ds):
+        cluster = ClusterModel(num_nodes=2, ranks_per_node=2, network=INFINIBAND_QDR)
+        result = papar.run(
+            BLAST_WORKFLOW_XML,
+            ARGS,
+            data=input_ds,
+            backend="mpi",
+            num_ranks=4,
+            cluster=cluster,
+        )
+        assert result.elapsed > 0
+        assert result.bytes_moved > 0
+
+
+class TestGeneratedCode:
+    def test_source_is_valid_python_with_literals(self, papar):
+        plan = papar.plan(BLAST_WORKFLOW_XML, ARGS)
+        source = papar.generate_code(plan)
+        compile(source, "<gen>", "exec")
+        assert "Sort(key='seq_size', ascending=True)" in source
+        assert "num_partitions=3" in source
+
+    def test_generated_equals_interpreted_serial(self, papar, input_ds):
+        plan = papar.plan(BLAST_WORKFLOW_XML, ARGS)
+        module = papar.compile(plan)
+        gen = module.run(input_ds, backend="serial")
+        ref = papar.run(BLAST_WORKFLOW_XML, ARGS, data=input_ds)
+        assert [p.rows() for p in gen.partitions] == [p.rows() for p in ref.partitions]
+
+    def test_generated_equals_interpreted_mpi(self, papar, input_ds):
+        plan = papar.plan(BLAST_WORKFLOW_XML, ARGS)
+        module = papar.compile(plan)
+        gen = module.run(input_ds, backend="mpi", num_ranks=3)
+        assert [p.rows() for p in gen.partitions] == FIGURE9_PARTITIONS
+
+    def test_unknown_backend_rejected(self, papar, input_ds):
+        plan = papar.plan(BLAST_WORKFLOW_XML, ARGS)
+        module = papar.compile(plan)
+        with pytest.raises(ValueError):
+            module.run(input_ds, backend="quantum")
+
+    def test_write_partitioner(self, papar, tmp_path):
+        from repro.core import write_partitioner
+
+        plan = papar.plan(BLAST_WORKFLOW_XML, ARGS)
+        out = tmp_path / "partitioner.py"
+        source = write_partitioner(plan, out)
+        assert out.read_text() == source
+
+
+class TestScaleInvariance:
+    """Partitions must not depend on rank count (paper: same partitions)."""
+
+    @pytest.mark.parametrize("ranks", [2, 5, 8])
+    def test_partitions_identical_across_rank_counts(self, papar, ranks):
+        rng = np.random.default_rng(7)
+        rows = []
+        pos = 0
+        for i in range(200):
+            size = int(rng.integers(20, 500))
+            rows.append((pos, size, pos, 50))
+            pos += size
+        ds = Dataset.from_rows(BLAST_INDEX_SCHEMA, rows)
+        args = {**ARGS, "num_partitions": 8}
+        ref = papar.run(BLAST_WORKFLOW_XML, args, data=ds)
+        mpi = papar.run(BLAST_WORKFLOW_XML, args, data=ds, backend="mpi", num_ranks=ranks)
+        assert [p.rows() for p in mpi.partitions] == [p.rows() for p in ref.partitions]

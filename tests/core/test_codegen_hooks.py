@@ -1,0 +1,81 @@
+"""Code generation for user-defined operators (codegen_expr hook)."""
+
+import numpy as np
+import pytest
+
+from repro.core.codegen import compile_partitioner, generate_partitioner_source
+from repro.core.dataset import Dataset
+from repro.core.planner import PlannedJob, WorkflowPlan
+from repro.config.workflow import Bindings
+from repro.errors import CodegenError
+from repro.formats import EDGE_LIST_SCHEMA
+from repro.ops import Distribute
+from repro.ops.base import BasicOperator
+
+
+class EveryOther(BasicOperator):
+    """A user operator with codegen support (keeps even-positioned entries)."""
+
+    name = "EveryOther"
+
+    def __init__(self, offset: int = 0) -> None:
+        self.offset = offset
+
+    def apply_local(self, data: Dataset) -> Dataset:
+        return data.take(np.arange(self.offset, len(data), 2))
+
+    def codegen_expr(self) -> str:
+        return f"EveryOther(offset={self.offset!r})"
+
+    def codegen_imports(self) -> list[str]:
+        return ["from tests.core.test_codegen_hooks import EveryOther"]
+
+
+class NoHooks(BasicOperator):
+    name = "NoHooks"
+
+    def apply_local(self, data):
+        return data
+
+
+def make_plan(op) -> WorkflowPlan:
+    jobs = [
+        PlannedJob(op_id="pick", operator_name=type(op).__name__, operator=op,
+                   source=None, output_paths=["/tmp/pick"]),
+        PlannedJob(op_id="distr", operator_name="Distribute",
+                   operator=Distribute("cyclic", 2), source="pick",
+                   source_outputs=[0], output_paths=["/out"]),
+    ]
+    return WorkflowPlan(workflow_id="custom", jobs=jobs, env=Bindings())
+
+
+class TestCodegenHooks:
+    def test_source_includes_custom_expr_and_import(self):
+        source = generate_partitioner_source(make_plan(EveryOther(offset=1)))
+        assert "EveryOther(offset=1)" in source
+        assert "from tests.core.test_codegen_hooks import EveryOther" in source
+        compile(source, "<gen>", "exec")
+
+    def test_generated_module_runs(self):
+        module = compile_partitioner(make_plan(EveryOther(offset=0)))
+        data = Dataset.from_rows(EDGE_LIST_SCHEMA, [(i, i + 1) for i in range(8)])
+        result = module.run(data)
+        kept = sorted(r[0] for p in result.partitions for r in p.rows())
+        assert kept == [0, 2, 4, 6]
+
+    def test_missing_hook_raises(self):
+        with pytest.raises(CodegenError, match="codegen_expr"):
+            generate_partitioner_source(make_plan(NoHooks()))
+
+    def test_non_string_expr_rejected(self):
+        class Bad(BasicOperator):
+            name = "Bad"
+
+            def apply_local(self, data):
+                return data
+
+            def codegen_expr(self):
+                return 42
+
+        with pytest.raises(CodegenError, match="string"):
+            generate_partitioner_source(make_plan(Bad()))

@@ -1,0 +1,81 @@
+"""Property-based tests on the Dataset abstraction and schema algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dataset import Dataset, concat
+from repro.formats import EDGE_LIST_SCHEMA, Field, RecordSchema
+
+edge_rows = st.lists(
+    st.tuples(st.integers(0, 1000), st.integers(0, 50)), min_size=0, max_size=150
+)
+
+
+class TestDatasetProperties:
+    @given(rows=edge_rows)
+    def test_pack_unpack_preserves_records(self, rows):
+        ds = Dataset.from_rows(EDGE_LIST_SCHEMA, rows) if rows else Dataset.from_array(
+            EDGE_LIST_SCHEMA, np.empty(0, dtype=EDGE_LIST_SCHEMA.dtype)
+        )
+        flat_again = ds.to_packed("vertex_b").to_flat()
+        assert sorted(flat_again.rows()) == sorted(ds.rows())
+        assert flat_again.num_records == len(rows)
+
+    @given(rows=edge_rows, k=st.integers(1, 10))
+    def test_take_concat_roundtrip(self, rows, k):
+        if not rows:
+            return
+        ds = Dataset.from_rows(EDGE_LIST_SCHEMA, rows)
+        # split into k interleaved selections, then concatenate
+        pieces = [ds.take(np.arange(i, len(ds), k)) for i in range(k)]
+        merged = concat(pieces)
+        assert sorted(merged.rows()) == sorted(ds.rows())
+
+    @given(rows=edge_rows)
+    def test_nbytes_consistent(self, rows):
+        if not rows:
+            return
+        ds = Dataset.from_rows(EDGE_LIST_SCHEMA, rows)
+        assert ds.nbytes == len(rows) * EDGE_LIST_SCHEMA.itemsize
+
+    @given(rows=edge_rows)
+    def test_column_matches_records(self, rows):
+        if not rows:
+            return
+        ds = Dataset.from_rows(EDGE_LIST_SCHEMA, rows)
+        np.testing.assert_array_equal(ds.column("vertex_a"), [r[0] for r in rows])
+
+
+names = st.text(alphabet="abcdefgh_", min_size=1, max_size=8).filter(
+    lambda s: s.isidentifier()
+)
+
+
+class TestSchemaAlgebraProperties:
+    @settings(max_examples=50)
+    @given(name=names)
+    def test_with_without_field_roundtrip(self, name):
+        base = EDGE_LIST_SCHEMA
+        if base.has_field(name):
+            return
+        extended = base.with_field(name, "long")
+        assert extended.has_field(name)
+        assert extended.itemsize == base.itemsize + 8
+        back = extended.without_field(name)
+        assert back.dtype == base.dtype
+        assert back.effective_delimiters() == base.effective_delimiters()
+
+    @settings(max_examples=30)
+    @given(field_names=st.lists(names, min_size=1, max_size=6, unique=True))
+    def test_structured_roundtrip(self, field_names):
+        schema = RecordSchema(
+            id="gen",
+            fields=tuple(Field(n, "long") for n in field_names),
+            input_format="binary",
+        )
+        rows = [tuple(range(i, i + len(field_names))) for i in range(5)]
+        arr = schema.to_structured(rows)
+        assert [tuple(r) for r in arr] == rows
+        assert schema.itemsize == 8 * len(field_names)

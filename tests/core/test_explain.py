@@ -1,0 +1,89 @@
+"""Plan DOT rendering and cost prediction."""
+
+import numpy as np
+import pytest
+
+from repro import PaPar
+from repro.blast import generate_index
+from repro.cluster import ClusterModel, INFINIBAND_QDR
+from repro.config import BLAST_INPUT_XML, EDGE_INPUT_XML
+from repro.config.examples import BLAST_WORKFLOW_XML, HYBRID_CUT_WORKFLOW_XML
+from repro.core.dataset import Dataset
+from repro.core.explain import estimate_plan_cost, plan_to_dot
+from repro.errors import WorkflowError
+from repro.formats import BLAST_INDEX_SCHEMA
+
+ARGS = {"input_path": "/in", "output_path": "/out", "num_partitions": 8}
+
+
+@pytest.fixture
+def papar():
+    p = PaPar()
+    p.register_input(BLAST_INPUT_XML)
+    p.register_input(EDGE_INPUT_XML)
+    return p
+
+
+class TestDot:
+    def test_blast_plan_dot(self, papar):
+        plan = papar.plan(BLAST_WORKFLOW_XML, ARGS)
+        dot = plan_to_dot(plan)
+        assert dot.startswith('digraph "blast_partition"')
+        assert '"input" -> "sort"' in dot
+        assert '"sort" -> "distr"' in dot
+        assert '"distr" -> partitions' in dot
+
+    def test_hybrid_plan_dot(self, papar):
+        plan = papar.plan(
+            HYBRID_CUT_WORKFLOW_XML,
+            {"input_file": "/in", "output_path": "/out", "num_partitions": 4,
+             "threshold": 4},
+        )
+        dot = plan_to_dot(plan)
+        assert '"group" -> "split"' in dot
+        assert '"split" -> "distr"' in dot
+
+
+class TestCostEstimate:
+    def test_breakdown_renders(self, papar):
+        plan = papar.plan(BLAST_WORKFLOW_XML, ARGS)
+        cluster = ClusterModel(num_nodes=4, ranks_per_node=2, network=INFINIBAND_QDR)
+        est = estimate_plan_cost(plan, num_records=1_000_000, record_bytes=16,
+                                 cluster=cluster)
+        assert len(est.jobs) == 2
+        assert est.total_s > 0
+        text = est.breakdown()
+        assert "sort" in text and "TOTAL" in text
+
+    def test_estimate_tracks_measured_virtual_time(self, papar):
+        """The prediction lands within a small factor of an actual run."""
+        n = 400_000
+        index = generate_index("env_nr", num_sequences=n, seed=9)
+        cluster = ClusterModel(num_nodes=4, ranks_per_node=2, network=INFINIBAND_QDR)
+        plan = papar.plan(BLAST_WORKFLOW_XML, ARGS)
+        est = estimate_plan_cost(plan, num_records=n, record_bytes=16, cluster=cluster)
+        measured = papar.run(
+            plan,
+            data=Dataset.from_array(BLAST_INDEX_SCHEMA, index),
+            backend="mpi",
+            num_ranks=8,
+            cluster=cluster,
+        ).elapsed
+        assert est.total_s == pytest.approx(measured, rel=1.5)
+        assert 0.2 < est.total_s / measured < 5.0
+
+    def test_more_nodes_less_predicted_time(self, papar):
+        plan = papar.plan(BLAST_WORKFLOW_XML, ARGS)
+        small = ClusterModel(num_nodes=1, ranks_per_node=2, network=INFINIBAND_QDR)
+        big = ClusterModel(num_nodes=16, ranks_per_node=2, network=INFINIBAND_QDR)
+        t_small = estimate_plan_cost(plan, 4_000_000, 16, small).total_s
+        t_big = estimate_plan_cost(plan, 4_000_000, 16, big).total_s
+        assert t_big < t_small
+
+    def test_validation(self, papar):
+        plan = papar.plan(BLAST_WORKFLOW_XML, ARGS)
+        cluster = ClusterModel(num_nodes=1)
+        with pytest.raises(WorkflowError):
+            estimate_plan_cost(plan, -1, 16, cluster)
+        with pytest.raises(WorkflowError):
+            estimate_plan_cost(plan, 10, 0, cluster)

@@ -1,0 +1,106 @@
+"""Coverage for remaining framework paths: input_format getter, custom
+operators through the distributed runtimes, search significance."""
+
+import numpy as np
+import pytest
+
+from repro import PaPar
+from repro.blast import PartitionIndex, generate_database, generate_index, write_index
+from repro.config import BLAST_INPUT_XML
+from repro.config.workflow import Bindings
+from repro.core.dataset import Dataset
+from repro.core.planner import PlannedJob, WorkflowPlan
+from repro.core.runtime import MPIRuntime
+from repro.errors import ConfigError
+from repro.formats import BLAST_INDEX_SCHEMA, EDGE_LIST_SCHEMA
+from repro.ops import Distribute
+from repro.ops.base import BasicOperator
+
+
+class TestFrameworkHelpers:
+    def test_input_format_getter(self, tmp_path):
+        index = generate_index("env_nr", num_sequences=50, seed=1)
+        path = tmp_path / "db.index"
+        from repro.blast.database import SequenceDatabase  # noqa: F401 - context
+
+        from repro.formats import write_binary
+
+        write_binary(path, index, BLAST_INDEX_SCHEMA, header=b"\x00" * 32)
+        papar = PaPar()
+        papar.register_input(BLAST_INPUT_XML)
+        fmt = papar.input_format(path, "blast_db")
+        assert fmt.num_records == 50
+
+    def test_schema_lookup_unknown(self):
+        with pytest.raises(ConfigError, match="registered"):
+            PaPar().schema("nothing")
+
+    def test_register_schema_programmatically(self):
+        papar = PaPar()
+        papar.register_schema(EDGE_LIST_SCHEMA)
+        assert papar.schema("graph_edge") is EDGE_LIST_SCHEMA
+
+    def test_write_index_roundtrip(self, tmp_path):
+        db = generate_database("env_nr", num_sequences=20, seed=2)
+        path = tmp_path / "db.index"
+        write_index(path, db)
+        from repro.formats import read_binary
+
+        back = read_binary(path, BLAST_INDEX_SCHEMA)
+        np.testing.assert_array_equal(back["seq_size"], db.seq_size)
+
+
+class Head(BasicOperator):
+    """Custom operator: keep the first n entries."""
+
+    name = "Head"
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+
+    def apply_local(self, data: Dataset) -> Dataset:
+        return data.take(np.arange(min(self.n, len(data))))
+
+
+class TestCustomOperatorThroughRuntimes:
+    def make_plan(self):
+        jobs = [
+            PlannedJob(op_id="head", operator_name="Head", operator=Head(4),
+                       source=None, output_paths=["/tmp/head"]),
+            PlannedJob(op_id="distr", operator_name="Distribute",
+                       operator=Distribute("cyclic", 2), source="head",
+                       source_outputs=[0], output_paths=["/out"]),
+        ]
+        return WorkflowPlan(workflow_id="custom", jobs=jobs, env=Bindings())
+
+    def test_custom_op_mpi_runtime(self):
+        data = Dataset.from_rows(EDGE_LIST_SCHEMA, [(i, i) for i in range(10)])
+        result = MPIRuntime(num_ranks=2).execute(self.make_plan(), data)
+        # each rank keeps its local head(4): with 5+5 split, 4+4 survive
+        total = sum(p.num_records for p in result.partitions)
+        assert total == 8
+
+    def test_custom_op_serial_runtime(self):
+        from repro.core.runtime import SerialRuntime
+
+        data = Dataset.from_rows(EDGE_LIST_SCHEMA, [(i, i) for i in range(10)])
+        result = SerialRuntime().execute(self.make_plan(), data)
+        assert sum(p.num_records for p in result.partitions) == 4
+
+
+class TestSearchSignificance:
+    def test_self_match_significant(self):
+        db = generate_database("env_nr", num_sequences=60, seed=3)
+        index = PartitionIndex(db)
+        query = db.sequence(int(np.argmax(db.seq_size))).copy()
+        result = index.search(query)
+        assert result.is_significant(len(query), db.total_residues)
+        assert result.e_value(len(query), db.total_residues) < 1e-6
+
+    def test_no_hit_not_significant(self):
+        from repro.blast import encode
+
+        db = generate_database("env_nr", num_sequences=5, seed=4)
+        index = PartitionIndex(db)
+        result = index.search(encode("WWW"))
+        assert not result.is_significant(3, db.total_residues)

@@ -1,0 +1,121 @@
+"""The MapReduce backend: same partitions as the serial and MPI backends."""
+
+import numpy as np
+import pytest
+
+from repro import PaPar
+from repro.config import BLAST_INPUT_XML, EDGE_INPUT_XML
+from repro.config.examples import BLAST_WORKFLOW_XML, HYBRID_CUT_WORKFLOW_XML
+from repro.core import MapReduceRuntime
+from repro.core.dataset import Dataset
+from repro.errors import WorkflowError
+from repro.formats import BLAST_INDEX_SCHEMA, EDGE_LIST_SCHEMA
+
+
+@pytest.fixture
+def papar():
+    p = PaPar()
+    p.register_input(BLAST_INPUT_XML)
+    p.register_input(EDGE_INPUT_XML)
+    return p
+
+
+@pytest.fixture
+def blast_data():
+    rng = np.random.default_rng(3)
+    rows = []
+    pos = 0
+    for _ in range(300):
+        size = int(rng.integers(20, 400))
+        rows.append((pos, size, pos, 50))
+        pos += size
+    return Dataset.from_rows(BLAST_INDEX_SCHEMA, rows)
+
+
+@pytest.fixture
+def edge_data():
+    rng = np.random.default_rng(5)
+    targets = rng.zipf(1.9, size=600) % 40
+    sources = rng.integers(40, 200, size=600)
+    edges = sorted({(int(s), int(t)) for s, t in zip(sources, targets)})
+    return Dataset.from_rows(EDGE_LIST_SCHEMA, edges)
+
+
+BLAST_ARGS = {"input_path": "/in", "output_path": "/out", "num_partitions": 6}
+HYBRID_ARGS = {
+    "input_file": "/in",
+    "output_path": "/out",
+    "num_partitions": 5,
+    "threshold": 8,
+}
+
+
+class TestThreeBackendEquivalence:
+    @pytest.mark.parametrize("ranks", [1, 2, 4])
+    def test_blast_workflow(self, papar, blast_data, ranks):
+        serial = papar.run(BLAST_WORKFLOW_XML, BLAST_ARGS, data=blast_data)
+        mr = papar.run(
+            BLAST_WORKFLOW_XML, BLAST_ARGS, data=blast_data,
+            backend="mapreduce", num_ranks=ranks,
+        )
+        assert [p.rows() for p in mr.partitions] == [p.rows() for p in serial.partitions]
+
+    @pytest.mark.parametrize("ranks", [1, 3, 4])
+    def test_hybrid_workflow(self, papar, edge_data, ranks):
+        serial = papar.run(HYBRID_CUT_WORKFLOW_XML, HYBRID_ARGS, data=edge_data)
+        mr = papar.run(
+            HYBRID_CUT_WORKFLOW_XML, HYBRID_ARGS, data=edge_data,
+            backend="mapreduce", num_ranks=ranks,
+        )
+        assert [p.rows() for p in mr.partitions] == [p.rows() for p in serial.partitions]
+
+    def test_mapreduce_equals_mpi(self, papar, blast_data):
+        mpi = papar.run(
+            BLAST_WORKFLOW_XML, BLAST_ARGS, data=blast_data, backend="mpi", num_ranks=3
+        )
+        mr = papar.run(
+            BLAST_WORKFLOW_XML, BLAST_ARGS, data=blast_data,
+            backend="mapreduce", num_ranks=3,
+        )
+        assert [p.rows() for p in mr.partitions] == [p.rows() for p in mpi.partitions]
+
+
+class TestMapReduceRuntimeDetails:
+    def test_virtual_time_with_cluster(self, papar, blast_data):
+        from repro.cluster import ClusterModel, INFINIBAND_QDR
+
+        cluster = ClusterModel(num_nodes=2, ranks_per_node=2, network=INFINIBAND_QDR)
+        result = papar.run(
+            BLAST_WORKFLOW_XML, BLAST_ARGS, data=blast_data,
+            backend="mapreduce", num_ranks=4, cluster=cluster,
+        )
+        assert result.elapsed > 0
+        assert result.bytes_moved > 0
+
+    def test_cluster_size_mismatch(self):
+        from repro.cluster import ClusterModel
+
+        with pytest.raises(WorkflowError, match="cluster"):
+            MapReduceRuntime(num_ranks=3, cluster=ClusterModel(num_nodes=2, ranks_per_node=2))
+
+    def test_unknown_backend_rejected(self, papar, blast_data):
+        with pytest.raises(WorkflowError, match="backend"):
+            papar.run(BLAST_WORKFLOW_XML, BLAST_ARGS, data=blast_data, backend="spark")
+
+    @pytest.mark.parametrize("num_reducers", [1, 3, 7])
+    def test_num_reducers_does_not_change_partitions(self, papar, blast_data, num_reducers):
+        """Figure 8 pins num_reducers=3; partitions must not depend on it."""
+        xml = BLAST_WORKFLOW_XML.replace('value="3"', f'value="{num_reducers}"')
+        serial = papar.run(BLAST_WORKFLOW_XML, BLAST_ARGS, data=blast_data)
+        mr = papar.run(xml, BLAST_ARGS, data=blast_data, backend="mapreduce", num_ranks=4)
+        assert [p.rows() for p in mr.partitions] == [p.rows() for p in serial.partitions]
+
+    def test_block_policy_through_mapreduce(self, papar, blast_data):
+        from tests.integration.test_same_partitions import BLOCK_WORKFLOW_XML
+
+        serial = papar.run(BLOCK_WORKFLOW_XML, BLAST_ARGS, data=blast_data)
+        mr = papar.run(
+            BLOCK_WORKFLOW_XML, BLAST_ARGS, data=blast_data,
+            backend="mapreduce", num_ranks=4,
+        )
+        assert [p.rows() for p in mr.partitions] == [p.rows() for p in serial.partitions]

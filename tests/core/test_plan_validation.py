@@ -1,0 +1,63 @@
+"""Plan-time key validation against registered input schemas."""
+
+import pytest
+
+from repro import PaPar
+from repro.config import BLAST_INPUT_XML, EDGE_INPUT_XML
+from repro.config.examples import BLAST_WORKFLOW_XML, HYBRID_CUT_WORKFLOW_XML
+from repro.errors import WorkflowError
+
+ARGS = {"input_path": "/in", "output_path": "/out", "num_partitions": 2}
+
+
+@pytest.fixture
+def papar():
+    p = PaPar()
+    p.register_input(BLAST_INPUT_XML)
+    p.register_input(EDGE_INPUT_XML)
+    return p
+
+
+class TestKeyValidation:
+    def test_valid_workflows_plan(self, papar):
+        papar.plan(BLAST_WORKFLOW_XML, ARGS)
+        papar.plan(
+            HYBRID_CUT_WORKFLOW_XML,
+            {"input_file": "/in", "output_path": "/out", "num_partitions": 2, "threshold": 4},
+        )
+
+    def test_sort_key_typo_fails_at_plan_time(self, papar):
+        xml = BLAST_WORKFLOW_XML.replace('value="seq_size"', 'value="seq_sizze"')
+        with pytest.raises(WorkflowError, match="seq_sizze"):
+            papar.plan(xml, ARGS)
+
+    def test_error_lists_known_fields(self, papar):
+        xml = BLAST_WORKFLOW_XML.replace('value="seq_size"', 'value="nope"')
+        with pytest.raises(WorkflowError, match="seq_start"):
+            papar.plan(xml, ARGS)
+
+    def test_addon_attribute_is_available_downstream(self, papar):
+        """The split keys on 'indegree', which only the count add-on adds."""
+        papar.plan(
+            HYBRID_CUT_WORKFLOW_XML,
+            {"input_file": "/in", "output_path": "/out", "num_partitions": 2, "threshold": 4},
+        )
+
+    def test_split_on_unknown_attribute_fails(self, papar):
+        xml = HYBRID_CUT_WORKFLOW_XML.replace(
+            'attr="indegree"', 'attr="fanin"'
+        )
+        with pytest.raises(WorkflowError, match="indegree"):
+            papar.plan(
+                xml,
+                {"input_file": "/in", "output_path": "/out", "num_partitions": 2,
+                 "threshold": 4},
+            )
+
+    def test_unregistered_format_skips_validation(self):
+        """Without a registered schema the plan succeeds (validated at run)."""
+        papar = PaPar()  # nothing registered
+        plan = papar.plan(
+            BLAST_WORKFLOW_XML.replace('value="seq_size"', 'value="whatever"'), ARGS
+        )
+        assert plan.jobs[0].operator.key == "whatever"

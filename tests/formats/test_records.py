@@ -1,0 +1,119 @@
+"""RecordSchema validation and numpy interop."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.formats import BLAST_INDEX_SCHEMA, EDGE_LIST_SCHEMA, Field, RecordSchema
+
+
+class TestField:
+    def test_valid(self):
+        f = Field("seq_size", "integer")
+        assert f.numpy_dtype == np.dtype("<i4")
+
+    def test_unknown_type(self):
+        with pytest.raises(SchemaError, match="unknown type"):
+            Field("x", "decimal")
+
+    def test_bad_name(self):
+        with pytest.raises(SchemaError):
+            Field("9bad", "integer")
+        with pytest.raises(SchemaError):
+            Field("", "integer")
+
+    def test_string_has_no_binary_width(self):
+        with pytest.raises(SchemaError):
+            Field("s", "string").numpy_dtype
+
+    def test_parse_text(self):
+        assert Field("a", "integer").parse_text("42") == 42
+        assert Field("a", "double").parse_text("2.5") == 2.5
+        assert Field("a", "string").parse_text("xyz") == "xyz"
+
+
+class TestBlastIndexSchema:
+    def test_paper_layout(self):
+        """Figure 4: four integers, 16 bytes per record, 32-byte header."""
+        s = BLAST_INDEX_SCHEMA
+        assert s.itemsize == 16
+        assert s.start_position == 32
+        assert s.field_names == ("seq_start", "seq_size", "desc_start", "desc_size")
+
+    def test_structured_roundtrip(self):
+        rows = [(0, 94, 0, 74), (94, 100, 74, 89)]
+        arr = BLAST_INDEX_SCHEMA.to_structured(rows)
+        assert arr["seq_size"].tolist() == [94, 100]
+
+
+class TestEdgeListSchema:
+    def test_paper_layout(self):
+        s = EDGE_LIST_SCHEMA
+        assert s.input_format == "text"
+        assert s.effective_delimiters() == ("\t", "\n")
+
+
+class TestValidation:
+    def test_no_fields(self):
+        with pytest.raises(SchemaError, match="no fields"):
+            RecordSchema(id="x", fields=())
+
+    def test_duplicate_fields(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            RecordSchema(id="x", fields=(Field("a", "integer"), Field("a", "long")))
+
+    def test_binary_rejects_string(self):
+        with pytest.raises(SchemaError, match="string"):
+            RecordSchema(id="x", fields=(Field("a", "string"),), input_format="binary")
+
+    def test_binary_rejects_delimiters(self):
+        with pytest.raises(SchemaError, match="delimiters"):
+            RecordSchema(
+                id="x", fields=(Field("a", "integer"),), input_format="binary", delimiters=("\t",)
+            )
+
+    def test_text_rejects_start_position(self):
+        with pytest.raises(SchemaError, match="start_position"):
+            RecordSchema(
+                id="x", fields=(Field("a", "integer"),), input_format="text", start_position=4
+            )
+
+    def test_text_delimiter_count(self):
+        with pytest.raises(SchemaError, match="delimiter"):
+            RecordSchema(
+                id="x",
+                fields=(Field("a", "integer"), Field("b", "integer")),
+                input_format="text",
+                delimiters=("\t",),
+            )
+
+    def test_unknown_format(self):
+        with pytest.raises(SchemaError):
+            RecordSchema(id="x", fields=(Field("a", "integer"),), input_format="csv")
+
+    def test_index_of_missing(self):
+        with pytest.raises(SchemaError):
+            BLAST_INDEX_SCHEMA.index_of("nope")
+
+
+class TestSchemaAlgebra:
+    def test_with_field_appends(self):
+        s = EDGE_LIST_SCHEMA.with_field("indegree", "long")
+        assert s.field_names == ("vertex_a", "vertex_b", "indegree")
+        assert s.effective_delimiters() == ("\t", "\t", "\n")
+
+    def test_with_field_duplicate_rejected(self):
+        with pytest.raises(SchemaError):
+            EDGE_LIST_SCHEMA.with_field("vertex_a")
+
+    def test_without_field_removes(self):
+        s = EDGE_LIST_SCHEMA.with_field("indegree", "long").without_field("indegree")
+        assert s.field_names == EDGE_LIST_SCHEMA.field_names
+        assert s.effective_delimiters() == ("\t", "\n")
+
+    def test_roundtrip_add_remove_binary(self):
+        s = BLAST_INDEX_SCHEMA.with_field("length_rank", "long")
+        assert s.itemsize == 24
+        back = s.without_field("length_rank")
+        assert back.itemsize == 16
+        assert back.dtype == BLAST_INDEX_SCHEMA.dtype

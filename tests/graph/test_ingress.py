@@ -1,0 +1,73 @@
+"""Distributed edge-list ingress."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PaParError
+from repro.formats import EDGE_LIST_SCHEMA, write_text
+from repro.graph import generate_powerlaw
+from repro.graph.ingress import load_graph_distributed
+
+
+@pytest.fixture
+def edge_file(tmp_path):
+    g = generate_powerlaw(200, 1500, seed=4)
+    path = tmp_path / "edges.txt"
+    write_text(path, list(zip(g.src.tolist(), g.dst.tolist())), EDGE_LIST_SCHEMA)
+    return path, g
+
+
+class TestDistributedIngress:
+    @pytest.mark.parametrize("ranks", [1, 2, 4, 7])
+    def test_matches_serial_read(self, edge_file, ranks):
+        path, g = edge_file
+        loaded = load_graph_distributed(path, num_ranks=ranks)
+        np.testing.assert_array_equal(loaded.src, g.src)
+        np.testing.assert_array_equal(loaded.dst, g.dst)
+
+    def test_num_vertices_override(self, edge_file):
+        path, g = edge_file
+        loaded = load_graph_distributed(path, num_ranks=2, num_vertices=500)
+        assert loaded.num_vertices == 500
+
+    def test_tiny_file_many_ranks(self, tmp_path):
+        path = tmp_path / "tiny.txt"
+        write_text(path, [(1, 2)], EDGE_LIST_SCHEMA)
+        loaded = load_graph_distributed(path, num_ranks=8)
+        assert loaded.num_edges == 1
+
+    def test_validation(self, edge_file):
+        path, _ = edge_file
+        with pytest.raises(PaParError):
+            load_graph_distributed(path, num_ranks=0)
+
+
+class TestConfigsDirectory:
+    """The shipped configs/ files drive the CLI end to end."""
+
+    def test_cli_with_shipped_configs(self, tmp_path):
+        from repro.blast import generate_index
+        from repro.cli import main
+        from repro.formats import BLAST_INDEX_SCHEMA, write_binary
+
+        index = generate_index("env_nr", num_sequences=60, seed=6)
+        db_path = tmp_path / "db.index"
+        write_binary(db_path, index, BLAST_INDEX_SCHEMA, header=b"\x00" * 32)
+        rc = main([
+            "run",
+            "--input-config", "configs/blast_db.xml",
+            "--workflow", "configs/blast_partition.xml",
+            "--arg", f"input_path={db_path}",
+            "--arg", f"output_path={tmp_path / 'out'}",
+            "--arg", "num_partitions=4",
+        ])
+        assert rc == 0
+        assert len(list((tmp_path / "out").iterdir())) == 4
+
+    def test_shipped_configs_parse(self):
+        from repro.config import load_input_config, load_workflow_config
+
+        assert load_input_config("configs/blast_db.xml").id == "blast_db"
+        assert load_input_config("configs/graph_edge.xml").id == "graph_edge"
+        assert load_workflow_config("configs/blast_partition.xml").id == "blast_partition"
+        assert load_workflow_config("configs/hybrid_cut.xml").id == "hybrid_cut"

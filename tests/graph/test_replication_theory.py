@@ -1,0 +1,48 @@
+"""Analytic replication estimates vs measured placements."""
+
+import pytest
+
+from repro.errors import PaParError
+from repro.graph import edge_cut, generate_powerlaw, hybrid_cut
+from repro.graph.replication_theory import (
+    expected_random_replication,
+    hybrid_low_side_bound,
+)
+
+
+class TestRandomReplicationEstimate:
+    @pytest.mark.parametrize("partitions", [4, 8, 16])
+    def test_matches_measured_random_placement(self, partitions):
+        g = generate_powerlaw(3000, 24000, alpha=2.3, seed=12)
+        predicted = expected_random_replication(g, partitions)
+        measured = edge_cut(g, partitions).replication_factor()
+        assert measured == pytest.approx(predicted, rel=0.05)
+
+    def test_single_partition_is_one(self):
+        g = generate_powerlaw(200, 1000, seed=1)
+        assert expected_random_replication(g, 1) == pytest.approx(1.0)
+
+    def test_monotone_in_partitions(self):
+        g = generate_powerlaw(500, 4000, seed=2)
+        values = [expected_random_replication(g, p) for p in (2, 4, 8, 16)]
+        assert values == sorted(values)
+
+    def test_validation(self):
+        g = generate_powerlaw(50, 200, seed=3)
+        with pytest.raises(PaParError):
+            expected_random_replication(g, 0)
+
+
+class TestHybridBound:
+    def test_power_law_mostly_low_degree(self):
+        g = generate_powerlaw(2000, 16000, alpha=2.2, seed=4)
+        assert hybrid_low_side_bound(g, threshold=30) > 0.8
+
+    def test_explains_hybrid_advantage(self):
+        """The larger the low-degree fraction, the bigger hybrid's win."""
+        g = generate_powerlaw(2000, 16000, alpha=2.2, seed=4)
+        low_frac = hybrid_low_side_bound(g, threshold=30)
+        hybrid_rf = hybrid_cut(g, 16, threshold=30).replication_factor()
+        random_rf = edge_cut(g, 16).replication_factor()
+        assert low_frac > 0.5
+        assert hybrid_rf < random_rf

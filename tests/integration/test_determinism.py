@@ -1,0 +1,64 @@
+"""Determinism: repeated runs produce identical partitions, traffic, and
+virtual time — despite thread scheduling nondeterminism underneath."""
+
+import numpy as np
+import pytest
+
+from repro import PaPar
+from repro.cluster import ClusterModel, INFINIBAND_QDR
+from repro.config import BLAST_INPUT_XML, EDGE_INPUT_XML
+from repro.config.examples import BLAST_WORKFLOW_XML, HYBRID_CUT_WORKFLOW_XML
+from repro.core.dataset import Dataset
+from repro.formats import BLAST_INDEX_SCHEMA, EDGE_LIST_SCHEMA
+
+
+@pytest.fixture
+def papar():
+    p = PaPar()
+    p.register_input(BLAST_INPUT_XML)
+    p.register_input(EDGE_INPUT_XML)
+    return p
+
+
+def blast_data(n=500):
+    rng = np.random.default_rng(71)
+    rows = [(i, int(s), i, 40) for i, s in enumerate(rng.integers(10, 800, size=n))]
+    return Dataset.from_rows(BLAST_INDEX_SCHEMA, rows)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("backend", ["mpi", "mapreduce"])
+    def test_partitions_and_traffic_identical_across_runs(self, papar, backend):
+        cluster = ClusterModel(num_nodes=4, ranks_per_node=2, network=INFINIBAND_QDR)
+        data = blast_data()
+        args = {"input_path": "/in", "output_path": "/out", "num_partitions": 8}
+        runs = [
+            papar.run(BLAST_WORKFLOW_XML, args, data=data, backend=backend,
+                      num_ranks=8, cluster=cluster)
+            for _ in range(3)
+        ]
+        first = runs[0]
+        for other in runs[1:]:
+            assert [p.rows() for p in other.partitions] == [
+                p.rows() for p in first.partitions
+            ]
+            assert other.bytes_moved == first.bytes_moved
+            assert other.messages == first.messages
+            # virtual time is a pure function of the message/compute schedule
+            assert other.elapsed == pytest.approx(first.elapsed, rel=1e-12)
+
+    def test_hybrid_workflow_virtual_time_deterministic(self, papar):
+        cluster = ClusterModel(num_nodes=2, ranks_per_node=2, network=INFINIBAND_QDR)
+        rng = np.random.default_rng(5)
+        targets = rng.zipf(1.8, size=400) % 30
+        sources = rng.integers(30, 150, size=400)
+        edges = sorted({(int(s), int(t)) for s, t in zip(sources, targets)})
+        data = Dataset.from_rows(EDGE_LIST_SCHEMA, edges)
+        args = {"input_file": "/in", "output_path": "/out",
+                "num_partitions": 4, "threshold": 6}
+        elapsed = {
+            papar.run(HYBRID_CUT_WORKFLOW_XML, args, data=data, backend="mpi",
+                      num_ranks=4, cluster=cluster).elapsed
+            for _ in range(3)
+        }
+        assert len(elapsed) == 1

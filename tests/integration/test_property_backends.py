@@ -1,0 +1,152 @@
+"""Property-based cross-backend equivalence.
+
+For randomly generated inputs and workflow parameters, all execution paths —
+serial interpreter, MPI runtime, MapReduce runtime, and the generated code —
+must produce identical partitions.  This is the framework's Correctness
+requirement (Section II-B) as a property.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import PaPar
+from repro.config import BLAST_INPUT_XML, EDGE_INPUT_XML
+from repro.config.examples import BLAST_WORKFLOW_XML, HYBRID_CUT_WORKFLOW_XML
+from repro.core.dataset import Dataset
+from repro.formats import BLAST_INDEX_SCHEMA, EDGE_LIST_SCHEMA
+
+SLOW = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.function_scoped_fixture],
+)
+
+
+def make_papar():
+    p = PaPar()
+    p.register_input(BLAST_INPUT_XML)
+    p.register_input(EDGE_INPUT_XML)
+    return p
+
+
+def rows_as_lists(result):
+    return [p.rows() for p in result.partitions]
+
+
+class TestBlastWorkflowProperty:
+    @SLOW
+    @given(
+        sizes=st.lists(st.integers(1, 10_000), min_size=1, max_size=120),
+        num_partitions=st.integers(1, 12),
+        ranks=st.integers(1, 5),
+    )
+    def test_all_paths_agree(self, sizes, num_partitions, ranks):
+        papar = make_papar()
+        rows = []
+        pos = 0
+        for i, s in enumerate(sizes):
+            rows.append((pos, s, pos, 40 + (i % 7)))
+            pos += s
+        data = Dataset.from_rows(BLAST_INDEX_SCHEMA, rows)
+        args = {"input_path": "/in", "output_path": "/out", "num_partitions": num_partitions}
+
+        serial = rows_as_lists(papar.run(BLAST_WORKFLOW_XML, args, data=data))
+        mpi = rows_as_lists(
+            papar.run(BLAST_WORKFLOW_XML, args, data=data, backend="mpi", num_ranks=ranks)
+        )
+        mr = rows_as_lists(
+            papar.run(BLAST_WORKFLOW_XML, args, data=data, backend="mapreduce", num_ranks=ranks)
+        )
+        generated = rows_as_lists(
+            papar.compile(papar.plan(BLAST_WORKFLOW_XML, args)).run(data)
+        )
+        assert mpi == serial
+        assert mr == serial
+        assert generated == serial
+
+    @SLOW
+    @given(
+        sizes=st.lists(st.integers(1, 1000), min_size=1, max_size=80),
+        num_partitions=st.integers(1, 8),
+    )
+    def test_partitions_form_a_partition_of_the_input(self, sizes, num_partitions):
+        """Every record appears in exactly one output partition."""
+        papar = make_papar()
+        rows = [(i * 7, s, i * 11, 1) for i, s in enumerate(sizes)]
+        data = Dataset.from_rows(BLAST_INDEX_SCHEMA, rows)
+        result = papar.run(
+            BLAST_WORKFLOW_XML,
+            {"input_path": "/in", "output_path": "/out", "num_partitions": num_partitions},
+            data=data,
+        )
+        assert result.num_partitions == num_partitions
+        all_rows = sorted(r for p in result.partitions for r in p.rows())
+        assert all_rows == sorted(tuple(np.int32(x) for x in row) for row in rows)
+        counts = [len(p) for p in result.partitions]
+        assert max(counts) - min(counts) <= 1  # cyclic balance invariant
+
+
+class TestHybridWorkflowProperty:
+    @SLOW
+    @given(
+        edges=st.lists(
+            st.tuples(st.integers(0, 30), st.integers(0, 30)).filter(lambda e: e[0] != e[1]),
+            min_size=1,
+            max_size=150,
+            unique=True,
+        ),
+        num_partitions=st.integers(1, 6),
+        threshold=st.integers(1, 10),
+        ranks=st.integers(1, 4),
+    )
+    def test_backends_agree(self, edges, num_partitions, threshold, ranks):
+        papar = make_papar()
+        data = Dataset.from_rows(EDGE_LIST_SCHEMA, sorted(edges))
+        args = {
+            "input_file": "/in",
+            "output_path": "/out",
+            "num_partitions": num_partitions,
+            "threshold": threshold,
+        }
+        serial = rows_as_lists(papar.run(HYBRID_CUT_WORKFLOW_XML, args, data=data))
+        mpi = rows_as_lists(
+            papar.run(HYBRID_CUT_WORKFLOW_XML, args, data=data, backend="mpi", num_ranks=ranks)
+        )
+        mr = rows_as_lists(
+            papar.run(
+                HYBRID_CUT_WORKFLOW_XML, args, data=data, backend="mapreduce", num_ranks=ranks
+            )
+        )
+        assert mpi == serial
+        assert mr == serial
+
+    @SLOW
+    @given(
+        edges=st.lists(
+            st.tuples(st.integers(0, 20), st.integers(0, 20)).filter(lambda e: e[0] != e[1]),
+            min_size=1,
+            max_size=100,
+            unique=True,
+        ),
+        threshold=st.integers(1, 8),
+    )
+    def test_low_degree_vertices_never_split(self, edges, threshold):
+        """The hybrid-cut invariant holds for arbitrary graphs/thresholds."""
+        papar = make_papar()
+        data = Dataset.from_rows(EDGE_LIST_SCHEMA, sorted(edges))
+        result = papar.run(
+            HYBRID_CUT_WORKFLOW_XML,
+            {"input_file": "/in", "output_path": "/out", "num_partitions": 3,
+             "threshold": threshold},
+            data=data,
+        )
+        indegree = {}
+        for _, dst in edges:
+            indegree[dst] = indegree.get(dst, 0) + 1
+        owner = {}
+        for i, p in enumerate(result.partitions):
+            for dst in p.records["vertex_b"].tolist():
+                if indegree[dst] < threshold:
+                    assert owner.setdefault(dst, i) == i

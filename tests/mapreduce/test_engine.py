@@ -1,0 +1,253 @@
+"""MRMPIEngine vs LocalEngine: phases and full jobs."""
+
+from collections import Counter
+
+import pytest
+
+from repro.cluster import ClusterModel, INFINIBAND_QDR
+from repro.errors import MapReduceError
+from repro.mapreduce import (
+    ExplicitPartitioner,
+    HashPartitioner,
+    LocalEngine,
+    MapReduceJob,
+    MRMPIEngine,
+    RangePartitioner,
+)
+from repro.mapreduce.engine import identity_map, identity_reduce
+from repro.mapreduce.hadoop import InputSplit, ListInputFormat
+from repro.mapreduce.job import run_pipeline
+from repro.mpi import run_mpi
+
+WORDS = (
+    "the quick brown fox jumps over the lazy dog the fox is quick and the dog is lazy"
+).split()
+
+
+def word_count_map(word, emit):
+    emit(word, 1)
+
+
+def sum_reduce(key, values, emit):
+    emit(key, sum(values))
+
+
+def split_for(rank, size, items):
+    """Contiguous block decomposition of items across ranks."""
+    n = len(items)
+    base, extra = divmod(n, size)
+    start = rank * base + min(rank, extra)
+    length = base + (1 if rank < extra else 0)
+    return items[start : start + length]
+
+
+class TestLocalEngine:
+    def test_word_count(self):
+        eng = LocalEngine()
+        out = eng.run_job(WORDS, word_count_map, sum_reduce, num_reducers=3)
+        assert dict(out) == dict(Counter(WORDS))
+
+    def test_sorted_job(self):
+        eng = LocalEngine()
+        out = eng.run_job(
+            [(k, None) for k in [5, 3, 9, 1]],
+            identity_map,
+            identity_reduce,
+            partitioner=HashPartitioner(1),
+            sort_keys=True,
+        )
+        assert [k for k, _ in out] == [1, 3, 5, 9]
+
+    def test_descending_sort(self):
+        eng = LocalEngine()
+        out = eng.run_job(
+            [(k, None) for k in [5, 3, 9, 1]],
+            identity_map,
+            identity_reduce,
+            partitioner=HashPartitioner(1),
+            sort_keys=True,
+            descending=True,
+        )
+        assert [k for k, _ in out] == [9, 5, 3, 1]
+
+
+@pytest.mark.parametrize("size", [1, 2, 3, 4])
+class TestDistributedWordCount:
+    def test_matches_serial(self, size):
+        def prog(comm):
+            eng = MRMPIEngine(comm)
+            local = split_for(comm.rank, comm.size, WORDS)
+            out = eng.run_job(local, word_count_map, sum_reduce)
+            return eng.gather_output(out)
+
+        run = run_mpi(prog, size)
+        assert dict(run.results[0]) == dict(Counter(WORDS))
+
+    def test_each_key_reduced_exactly_once(self, size):
+        def prog(comm):
+            eng = MRMPIEngine(comm)
+            local = split_for(comm.rank, comm.size, WORDS)
+            out = eng.run_job(local, word_count_map, sum_reduce)
+            return eng.gather_output(out)
+
+        run = run_mpi(prog, size)
+        keys = [k for k, _ in run.results[0]]
+        assert len(keys) == len(set(keys))
+
+
+class TestShuffleSemantics:
+    def test_explicit_partitioner_routes_by_key(self):
+        def prog(comm):
+            eng = MRMPIEngine(comm)
+            # every rank sends one pair to each reducer id
+            kv = [(d, f"{comm.rank}->{d}") for d in range(comm.size)]
+            got = eng.shuffle(kv, ExplicitPartitioner(comm.size))
+            return sorted(v for _, v in got)
+
+        run = run_mpi(prog, 3)
+        for rank, values in enumerate(run.results):
+            assert values == sorted(f"{s}->{rank}" for s in range(3))
+
+    def test_range_partitioner_gives_globally_sorted_concatenation(self):
+        keys = [42, 7, 99, 13, 56, 21, 88, 3, 70, 35, 64, 11]
+
+        def prog(comm):
+            eng = MRMPIEngine(comm)
+            local = [(k, None) for k in split_for(comm.rank, comm.size, keys)]
+            part = RangePartitioner([30, 60], num_reducers=3)
+            shuffled = eng.shuffle(local, part)
+            local_sorted = eng.sort_local(shuffled)
+            return [k for k, _ in local_sorted]
+
+        run = run_mpi(prog, 3)
+        concatenated = [k for chunk in run.results for k in chunk]
+        assert concatenated == sorted(keys)
+
+    def test_hash_shuffle_preserves_multiset(self):
+        def prog(comm):
+            eng = MRMPIEngine(comm)
+            local = [(w, 1) for w in split_for(comm.rank, comm.size, WORDS)]
+            shuffled = eng.shuffle(local, HashPartitioner(comm.size))
+            return shuffled
+
+        run = run_mpi(prog, 4)
+        all_keys = Counter(k for chunk in run.results for k, _ in chunk)
+        assert all_keys == Counter(WORDS)
+
+    def test_same_key_lands_on_same_rank(self):
+        def prog(comm):
+            eng = MRMPIEngine(comm)
+            local = [(w, comm.rank) for w in split_for(comm.rank, comm.size, WORDS)]
+            return eng.shuffle(local, HashPartitioner(comm.size))
+
+        run = run_mpi(prog, 4)
+        owner = {}
+        for rank, chunk in enumerate(run.results):
+            for k, _ in chunk:
+                assert owner.setdefault(k, rank) == rank
+
+
+class TestGroupAndReduce:
+    def test_group_preserves_value_multiplicity(self):
+        eng = LocalEngine()
+        grouped = dict(eng.group([("a", 1), ("b", 2), ("a", 3)]))
+        assert grouped == {"a": [1, 3], "b": [2]}
+
+    def test_add_on_style_reduce(self):
+        """count/max/min/mean/sum over grouped values (Table I add-ons)."""
+        eng = LocalEngine()
+        grouped = eng.group([("x", v) for v in [4, 8, 6]])
+
+        def stats_reduce(key, values, emit):
+            emit(key, {
+                "count": len(values),
+                "max": max(values),
+                "min": min(values),
+                "mean": sum(values) / len(values),
+                "sum": sum(values),
+            })
+
+        out = dict(eng.reduce(grouped, stats_reduce))
+        assert out == {"x": {"count": 3, "max": 8, "min": 4, "mean": 6.0, "sum": 18}}
+
+
+class TestPipeline:
+    def test_two_stage_pipeline(self):
+        """Stage 1 counts words; stage 2 buckets counts by parity."""
+        count_job = MapReduceJob("count", word_count_map, sum_reduce)
+
+        def parity_map(item, emit):
+            word, count = item
+            emit(count % 2, word)
+
+        def collect_reduce(key, values, emit):
+            emit(key, sorted(values))
+
+        parity_job = MapReduceJob("parity", parity_map, collect_reduce)
+
+        eng = LocalEngine()
+        out = dict(run_pipeline([count_job, parity_job], eng, WORDS))
+        counts = Counter(WORDS)
+        assert set(out.get(0, [])) == {w for w, c in counts.items() if c % 2 == 0}
+        assert set(out.get(1, [])) == {w for w, c in counts.items() if c % 2 == 1}
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(MapReduceError):
+            run_pipeline([], LocalEngine(), [])
+
+
+class TestVirtualTimeCharging:
+    def test_job_advances_clocks(self):
+        cluster = ClusterModel(num_nodes=2, ranks_per_node=2, network=INFINIBAND_QDR)
+
+        def prog(comm):
+            eng = MRMPIEngine(comm)
+            local = split_for(comm.rank, comm.size, WORDS * 50)
+            eng.run_job(local, word_count_map, sum_reduce)
+            return comm.clock.now
+
+        run = run_mpi(prog, 4, cluster=cluster)
+        assert all(t > 0 for t in run.results)
+
+    def test_more_data_costs_more_virtual_time(self):
+        cluster = ClusterModel(num_nodes=2, ranks_per_node=2, network=INFINIBAND_QDR)
+
+        def prog_factory(factor):
+            def prog(comm):
+                eng = MRMPIEngine(comm)
+                local = split_for(comm.rank, comm.size, WORDS * factor)
+                eng.run_job(local, word_count_map, sum_reduce)
+                return comm.clock.now
+
+            return prog
+
+        small = run_mpi(prog_factory(10), 4, cluster=cluster).elapsed
+        big = run_mpi(prog_factory(200), 4, cluster=cluster).elapsed
+        assert big > small
+
+
+class TestHadoopShim:
+    def test_list_input_format_splits_evenly(self):
+        fmt = ListInputFormat(list(range(10)))
+        splits = fmt.get_splits(3)
+        assert [s.length for s in splits] == [4, 3, 3]
+        assert [list(fmt.get_record_reader(s)) for s in splits] == [
+            [0, 1, 2, 3],
+            [4, 5, 6],
+            [7, 8, 9],
+        ]
+
+    def test_records_for_rank_covers_everything(self):
+        fmt = ListInputFormat(list(range(17)))
+        seen = []
+        for rank in range(5):
+            seen += fmt.records_for_rank(rank, 5)
+        assert seen == list(range(17))
+
+    def test_invalid_split_rejected(self):
+        with pytest.raises(MapReduceError):
+            InputSplit(source=None, start=-1, length=2)
+
+    def test_zero_splits_rejected(self):
+        with pytest.raises(MapReduceError):
+            ListInputFormat([1]).get_splits(0)

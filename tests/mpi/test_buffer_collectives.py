@@ -1,0 +1,95 @@
+"""Buffer-path (capitalized) collectives on numpy arrays."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import MAX, SUM, run_mpi
+
+SIZES = [1, 2, 3, 4, 7]
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("root", [0, "last"])
+def test_Bcast(size, root):
+    root = size - 1 if root == "last" else root
+
+    def prog(comm):
+        buf = np.arange(50, dtype=np.float64) if comm.rank == root else np.zeros(50)
+        comm.Bcast(buf, root=root)
+        return buf
+
+    run = run_mpi(prog, size)
+    for r in run.results:
+        np.testing.assert_array_equal(r, np.arange(50, dtype=np.float64))
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_Reduce_sum(size):
+    def prog(comm):
+        return comm.Reduce(np.full(10, comm.rank + 1, dtype=np.int64), SUM, root=0)
+
+    run = run_mpi(prog, size)
+    expected = size * (size + 1) // 2
+    np.testing.assert_array_equal(run.results[0], np.full(10, expected))
+    assert all(r is None for r in run.results[1:])
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_Allreduce(size):
+    def prog(comm):
+        return comm.Allreduce(np.array([comm.rank, -comm.rank], dtype=np.float64), MAX)
+
+    run = run_mpi(prog, size)
+    for r in run.results:
+        np.testing.assert_array_equal(r, [size - 1, 0])
+
+
+def test_Reduce_does_not_mutate_input():
+    def prog(comm):
+        buf = np.full(5, comm.rank + 1, dtype=np.int64)
+        comm.Reduce(buf, SUM, root=0)
+        return buf
+
+    run = run_mpi(prog, 4)
+    for rank, buf in enumerate(run.results):
+        np.testing.assert_array_equal(buf, np.full(5, rank + 1))
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_Allgatherv(size):
+    def prog(comm):
+        local = np.full(comm.rank + 1, comm.rank, dtype=np.int64)
+        recvbuf, counts = comm.Allgatherv(local)
+        return recvbuf, counts
+
+    run = run_mpi(prog, size)
+    expected = np.concatenate([np.full(r + 1, r, dtype=np.int64) for r in range(size)])
+    for recvbuf, counts in run.results:
+        np.testing.assert_array_equal(recvbuf, expected)
+        np.testing.assert_array_equal(counts, np.arange(1, size + 1))
+
+
+def test_Allgatherv_with_empty_contribution():
+    def prog(comm):
+        n = 0 if comm.rank == 1 else 3
+        local = np.full(n, comm.rank, dtype=np.int64)
+        recvbuf, counts = comm.Allgatherv(local)
+        return recvbuf, counts
+
+    run = run_mpi(prog, 3)
+    for recvbuf, counts in run.results:
+        assert counts.tolist() == [3, 0, 3]
+        np.testing.assert_array_equal(recvbuf, [0, 0, 0, 2, 2, 2])
+
+
+def test_buffer_collectives_charge_virtual_time():
+    from repro.cluster import ClusterModel, INFINIBAND_QDR
+
+    cluster = ClusterModel(num_nodes=2, ranks_per_node=2, network=INFINIBAND_QDR)
+
+    def prog(comm):
+        comm.Allreduce(np.ones(100_000), SUM)
+        return comm.clock.now
+
+    run = run_mpi(prog, 4, cluster=cluster)
+    assert all(t > 0 for t in run.results)

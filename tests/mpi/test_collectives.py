@@ -1,0 +1,233 @@
+"""Collective operations across a range of communicator sizes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MPIError
+from repro.mpi import MAX, MAXLOC, MIN, PROD, SUM, UNDEFINED, run_mpi
+
+SIZES = [1, 2, 3, 4, 5, 8]
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("root", [0, "last"])
+def test_bcast(size, root):
+    root = size - 1 if root == "last" else root
+
+    def prog(comm):
+        obj = {"payload": list(range(10))} if comm.rank == root else None
+        return comm.bcast(obj, root=root)
+
+    run = run_mpi(prog, size)
+    assert all(r == {"payload": list(range(10))} for r in run.results)
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("root", [0, "last"])
+def test_reduce_sum(size, root):
+    root = size - 1 if root == "last" else root
+
+    def prog(comm):
+        return comm.reduce(comm.rank + 1, SUM, root=root)
+
+    run = run_mpi(prog, size)
+    expected = size * (size + 1) // 2
+    assert run.results[root] == expected
+    assert all(r is None for i, r in enumerate(run.results) if i != root)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_reduce_respects_rank_order_for_noncommutative_op(size):
+    """String concatenation is associative but not commutative."""
+    from repro.mpi.reduce_ops import ReduceOp
+
+    concat = ReduceOp("CONCAT", lambda a, b: a + b, commutative=False)
+
+    def prog(comm):
+        return comm.reduce(str(comm.rank), concat, root=0)
+
+    run = run_mpi(prog, size)
+    assert run.results[0] == "".join(str(i) for i in range(size))
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_allreduce(size):
+    def prog(comm):
+        return comm.allreduce(comm.rank + 1, SUM)
+
+    run = run_mpi(prog, size)
+    assert run.results == [size * (size + 1) // 2] * size
+
+
+def test_allreduce_numpy_arrays():
+    def prog(comm):
+        return comm.allreduce(np.full(5, comm.rank, dtype=np.int64), SUM)
+
+    run = run_mpi(prog, 4)
+    for r in run.results:
+        np.testing.assert_array_equal(r, np.full(5, 6))
+
+
+@pytest.mark.parametrize("op,expected", [(MAX, 3), (MIN, 0), (PROD, 0)])
+def test_reduce_other_ops(op, expected):
+    def prog(comm):
+        return comm.reduce(comm.rank, op, root=0)
+
+    run = run_mpi(prog, 4)
+    assert run.results[0] == expected
+
+
+def test_maxloc():
+    values = [3, 9, 1, 9]
+
+    def prog(comm):
+        return comm.allreduce((values[comm.rank], comm.rank), MAXLOC)
+
+    run = run_mpi(prog, 4)
+    # ties prefer the lower rank
+    assert run.results == [(9, 1)] * 4
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_scatter_gather(size):
+    def prog(comm):
+        data = [(i + 1) ** 2 for i in range(size)] if comm.rank == 0 else None
+        mine = comm.scatter(data, root=0)
+        assert mine == (comm.rank + 1) ** 2
+        return comm.gather(mine * 10, root=0)
+
+    run = run_mpi(prog, size)
+    assert run.results[0] == [10 * (i + 1) ** 2 for i in range(size)]
+    assert all(r is None for r in run.results[1:])
+
+
+def test_scatter_wrong_length_raises():
+    def prog(comm):
+        data = [1] if comm.rank == 0 else None
+        return comm.scatter(data, root=0)
+
+    with pytest.raises(MPIError, match="scatter"):
+        run_mpi(prog, 3)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_allgather(size):
+    def prog(comm):
+        return comm.allgather(comm.rank * 2)
+
+    run = run_mpi(prog, size)
+    assert run.results == [[2 * i for i in range(size)]] * size
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_alltoall(size):
+    def prog(comm):
+        return comm.alltoall([f"{comm.rank}->{d}" for d in range(size)])
+
+    run = run_mpi(prog, size)
+    for rank, got in enumerate(run.results):
+        assert got == [f"{s}->{rank}" for s in range(size)]
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_barrier_completes(size):
+    def prog(comm):
+        for _ in range(3):
+            comm.barrier()
+        return True
+
+    run = run_mpi(prog, size)
+    assert all(run.results)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_scan(size):
+    def prog(comm):
+        return comm.scan(comm.rank + 1, SUM)
+
+    run = run_mpi(prog, size)
+    assert run.results == [sum(range(1, i + 2)) for i in range(size)]
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_exscan(size):
+    def prog(comm):
+        return comm.exscan(comm.rank + 1, SUM, identity=0)
+
+    run = run_mpi(prog, size)
+    assert run.results == [sum(range(1, i + 1)) for i in range(size)]
+
+
+@pytest.mark.parametrize("size", [2, 4, 6])
+def test_alltoallv_buffers(size):
+    def prog(comm):
+        # rank r sends (d+1) copies of value 100*r+d to destination d
+        chunks = [np.full(d + 1, 100 * comm.rank + d, dtype=np.int64) for d in range(size)]
+        sendbuf = np.concatenate(chunks)
+        counts = [d + 1 for d in range(size)]
+        recvbuf, recvcounts = comm.Alltoallv(sendbuf, counts)
+        return recvbuf, recvcounts
+
+    run = run_mpi(prog, size)
+    for rank, (recvbuf, recvcounts) in enumerate(run.results):
+        np.testing.assert_array_equal(recvcounts, np.full(size, rank + 1))
+        expected = np.concatenate(
+            [np.full(rank + 1, 100 * s + rank, dtype=np.int64) for s in range(size)]
+        )
+        np.testing.assert_array_equal(recvbuf, expected)
+
+
+def test_alltoallv_count_mismatch_raises():
+    def prog(comm):
+        comm.Alltoallv(np.arange(3), [1, 1])  # sums to 2, buffer has 3
+
+    with pytest.raises(MPIError, match="sendcounts"):
+        run_mpi(prog, 2)
+
+
+def test_split_by_parity():
+    def prog(comm):
+        sub = comm.split(color=comm.rank % 2)
+        total = sub.allreduce(comm.rank, SUM)
+        return (sub.rank, sub.size, total)
+
+    run = run_mpi(prog, 6)
+    evens = sum(r for r in range(6) if r % 2 == 0)
+    odds = sum(r for r in range(6) if r % 2 == 1)
+    for rank, (sub_rank, sub_size, total) in enumerate(run.results):
+        assert sub_size == 3
+        assert sub_rank == rank // 2
+        assert total == (evens if rank % 2 == 0 else odds)
+
+
+def test_split_undefined_excluded():
+    def prog(comm):
+        color = UNDEFINED if comm.rank == 0 else 1
+        sub = comm.split(color=color)
+        if comm.rank == 0:
+            return sub  # None
+        return sub.size
+
+    run = run_mpi(prog, 4)
+    assert run.results[0] is None
+    assert run.results[1:] == [3, 3, 3]
+
+
+def test_split_key_reorders_ranks():
+    def prog(comm):
+        # reverse ordering inside the new communicator
+        sub = comm.split(color=0, key=-comm.rank)
+        return sub.rank
+
+    run = run_mpi(prog, 4)
+    assert run.results == [3, 2, 1, 0]
+
+
+def test_dup_is_independent():
+    def prog(comm):
+        d = comm.dup()
+        assert d.size == comm.size and d.rank == comm.rank
+        return d.allreduce(1, SUM)
+
+    run = run_mpi(prog, 3)
+    assert run.results == [3, 3, 3]

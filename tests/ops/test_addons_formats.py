@@ -1,0 +1,182 @@
+"""Add-on operators (count/max/min/mean/sum) and format operators."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import Dataset
+from repro.errors import FormatError, OperatorError
+from repro.formats import EDGE_LIST_SCHEMA, Field, RecordSchema, pack
+from repro.ops import Count, Max, Mean, Min, Orig, Pack, Sum, Unpack
+from repro.ops.base import get_addon, get_basic, get_format, registered_names
+
+VALUES_SCHEMA = RecordSchema(
+    id="kv",
+    fields=(Field("k", "long"), Field("v", "double")),
+    input_format="binary",
+)
+
+
+def packed_values():
+    records = VALUES_SCHEMA.to_structured(
+        [(1, 4.0), (1, 8.0), (1, 6.0), (2, 10.0)]
+    )
+    return pack(records, VALUES_SCHEMA, "k")
+
+
+class TestAddOns:
+    def test_count(self):
+        out = Count().apply(packed_values(), "n")
+        groups = dict(out.groups)
+        assert groups[1]["n"].tolist() == [3, 3, 3]
+        assert groups[2]["n"].tolist() == [1]
+        assert out.schema.has_field("n")
+
+    @pytest.mark.parametrize(
+        "addon_cls,expected1",
+        [(Max, 8.0), (Min, 4.0), (Mean, 6.0), (Sum, 18.0)],
+    )
+    def test_numeric_addons(self, addon_cls, expected1):
+        out = addon_cls().apply(packed_values(), "agg", field="v")
+        groups = dict(out.groups)
+        assert groups[1]["agg"].tolist() == [expected1] * 3
+        assert groups[2]["agg"].tolist() == [10.0]
+
+    def test_field_required(self):
+        with pytest.raises(OperatorError, match="field"):
+            Max().apply(packed_values(), "agg")
+
+    def test_unknown_field(self):
+        with pytest.raises(OperatorError, match="no field"):
+            Sum().apply(packed_values(), "agg", field="w")
+
+    def test_count_needs_no_field(self):
+        assert Count.needs_field is False
+        Count().apply(packed_values(), "n", field=None)
+
+    def test_attrs_do_not_mutate_input(self):
+        packed = packed_values()
+        Count().apply(packed, "n")
+        assert not packed.schema.has_field("n")
+
+
+class TestFormatOps:
+    def flat(self):
+        return Dataset.from_rows(EDGE_LIST_SCHEMA, [(2, 1), (3, 1), (9, 5)])
+
+    def test_orig_identity(self):
+        ds = self.flat()
+        assert Orig().apply(ds) is ds
+
+    def test_pack_groups(self):
+        out = Pack().apply(self.flat(), key_field="vertex_b")
+        assert out.is_packed
+        assert {k for k, _ in out.packed.groups} == {1, 5}
+
+    def test_pack_requires_key(self):
+        with pytest.raises(OperatorError, match="key"):
+            Pack().apply(self.flat())
+
+    def test_pack_idempotent(self):
+        packed = Pack().apply(self.flat(), key_field="vertex_b")
+        assert Pack().apply(packed, key_field="vertex_b") is packed
+
+    def test_unpack_flattens(self):
+        packed = Pack().apply(self.flat(), key_field="vertex_b")
+        flat = Unpack().apply(packed)
+        assert not flat.is_packed
+        assert sorted(flat.rows()) == sorted(self.flat().rows())
+
+    def test_unpack_on_flat_is_identity(self):
+        ds = self.flat()
+        assert Unpack().apply(ds) is ds
+
+
+class TestRegistry:
+    def test_table1_names_registered(self):
+        names = registered_names()
+        assert {"sort", "group", "split", "distribute"} <= set(names["basic"])
+        assert {"count", "max", "min", "mean", "sum"} == set(names["addon"])
+        assert {"orig", "pack", "unpack"} == set(names["format"])
+
+    def test_lookup_case_insensitive(self):
+        assert get_basic("sort") is get_basic("Sort")
+        assert isinstance(get_addon("COUNT"), Count)
+        assert isinstance(get_format("Pack"), Pack)
+
+    def test_unknown_lookups(self):
+        with pytest.raises(OperatorError):
+            get_basic("teleport")
+        with pytest.raises(OperatorError):
+            get_addon("median")
+        with pytest.raises(OperatorError):
+            get_format("gzip")
+
+    def test_custom_basic_registration(self):
+        from repro.ops.base import BasicOperator, register_basic
+
+        @register_basic
+        class Shuffle99(BasicOperator):
+            name = "Shuffle99"
+
+            def apply_local(self, data):
+                return data
+
+        assert get_basic("shuffle99") is Shuffle99
+        with pytest.raises(OperatorError, match="already"):
+
+            @register_basic
+            class Other(BasicOperator):
+                name = "shuffle99"
+
+                def apply_local(self, data):
+                    return data
+
+
+class TestDataset:
+    def test_needs_exactly_one_layout(self):
+        with pytest.raises(FormatError):
+            Dataset(schema=EDGE_LIST_SCHEMA)
+        with pytest.raises(FormatError):
+            Dataset(
+                schema=EDGE_LIST_SCHEMA,
+                records=np.empty(0, dtype=EDGE_LIST_SCHEMA.dtype),
+                packed=pack(
+                    np.empty(0, dtype=EDGE_LIST_SCHEMA.dtype), EDGE_LIST_SCHEMA, "vertex_b"
+                ),
+            )
+
+    def test_dtype_checked(self):
+        with pytest.raises(FormatError, match="dtype"):
+            Dataset(schema=EDGE_LIST_SCHEMA, records=np.zeros(3, dtype=np.int64))
+
+    def test_len_counts_entries(self):
+        ds = Dataset.from_rows(EDGE_LIST_SCHEMA, [(2, 1), (3, 1), (9, 5)])
+        assert len(ds) == 3
+        packed = ds.to_packed("vertex_b")
+        assert len(packed) == 2  # groups
+        assert packed.num_records == 3
+
+    def test_repack_with_other_key_rejected(self):
+        ds = Dataset.from_rows(EDGE_LIST_SCHEMA, [(2, 1)]).to_packed("vertex_b")
+        with pytest.raises(FormatError, match="packed"):
+            ds.to_packed("vertex_a")
+
+    def test_concat_schema_mismatch(self):
+        from repro.core.dataset import concat
+        from repro.formats import BLAST_INDEX_SCHEMA
+
+        a = Dataset.from_rows(EDGE_LIST_SCHEMA, [(1, 2)])
+        b = Dataset.from_rows(BLAST_INDEX_SCHEMA, [(0, 1, 2, 3)])
+        with pytest.raises(FormatError, match="mixed"):
+            concat([a, b])
+
+    def test_concat_empty_rejected(self):
+        from repro.core.dataset import concat
+
+        with pytest.raises(FormatError):
+            concat([])
+
+    def test_column_on_packed_takes_group_value(self):
+        ds = Dataset.from_rows(EDGE_LIST_SCHEMA, [(2, 1), (3, 1), (9, 5)])
+        packed = ds.to_packed("vertex_b")
+        assert packed.column("vertex_b").tolist() == [1, 5]
