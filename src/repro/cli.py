@@ -68,6 +68,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--backend", default="serial",
                        choices=("serial", "mpi", "mapreduce"))
     p_run.add_argument("--ranks", type=int, default=1, help="MPI ranks to simulate")
+    p_run.add_argument("--stats", action="store_true",
+                       help="print shuffle perf counters (records/bytes moved, "
+                            "per-phase wall and virtual time)")
     return parser
 
 
@@ -105,6 +108,34 @@ def cmd_codegen(ns: argparse.Namespace) -> int:
     return 0
 
 
+def _format_bytes(n: int) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if n < 1024 or unit == "GiB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{n} B"
+        n /= 1024
+    return f"{n} B"  # pragma: no cover - unreachable
+
+
+def print_stats(result) -> None:
+    """Render the perf-counter summary of a :class:`PartitionResult`."""
+    perf = result.extra.get("perf")
+    if not perf:
+        print("stats: (no perf counters recorded by this backend)")
+        return
+    print(
+        f"stats: {perf['records_moved']} records moved, "
+        f"{_format_bytes(perf['bytes_moved'])} shuffled payload, "
+        f"{_format_bytes(result.bytes_moved)} on the wire, "
+        f"{result.messages} messages, {result.elapsed:.6f} s simulated"
+    )
+    phases = perf.get("phases", {})
+    if phases:
+        width = max(len(name) for name in phases)
+        print(f"  {'phase'.ljust(width)}  {'wall(s)':>10}  {'virtual(s)':>10}")
+        for name, t in phases.items():
+            print(f"  {name.ljust(width)}  {t['wall_s']:>10.4f}  {t['virtual_s']:>10.4f}")
+
+
 def cmd_run(ns: argparse.Namespace) -> int:
     papar, workflow, args = _load(ns)
     out = papar.partition_files(
@@ -113,6 +144,8 @@ def cmd_run(ns: argparse.Namespace) -> int:
     print(f"wrote {out.num_partitions} partition(s):")
     for path, part in zip(out.output_paths, out.partitions):
         print(f"  {path}  ({part.num_records} records)")
+    if ns.stats:
+        print_stats(out.result)
     return 0
 
 

@@ -34,6 +34,7 @@ from repro.core.dataset import Dataset, concat
 from repro.core.planner import PlannedJob, WorkflowPlan
 from repro.core.runtime import PartitionResult, SerialRuntime, _dataset_rows_per_rank
 from repro.errors import WorkflowError
+from repro.mapreduce.columnar import PerfCounters, bucketize
 from repro.mapreduce.engine import MRMPIEngine
 from repro.mapreduce.partitioner import ExplicitPartitioner
 from repro.mapreduce.sampling import sample_key_ranges
@@ -63,11 +64,12 @@ class MapReduceRuntime:
         self.sample_size = sample_size
 
     def execute(self, plan: WorkflowPlan, input_data: Dataset) -> PartitionResult:
+        perf_slots: list = [None] * self.num_ranks
         run = run_mpi(
             self._rank_program,
             self.num_ranks,
             cluster=self.cluster,
-            args=(plan, input_data),
+            args=(plan, input_data, perf_slots),
         )
         merged: dict[int, Dataset] = {}
         for rank_out in run.results:
@@ -77,21 +79,25 @@ class MapReduceRuntime:
             elapsed=run.elapsed,
             bytes_moved=run.bytes_moved,
             messages=run.messages,
+            extra={"perf": PerfCounters.merge_ranks(perf_slots).summary()},
         )
 
     # -- per-rank program ---------------------------------------------------
 
     def _rank_program(
-        self, comm: Communicator, plan: WorkflowPlan, input_data: Dataset
+        self, comm: Communicator, plan: WorkflowPlan, input_data: Dataset, perf_slots: list
     ) -> dict[int, Dataset]:
-        engine = MRMPIEngine(comm)
+        perf = PerfCounters()
+        engine = MRMPIEngine(comm, perf=perf)
         local: Any = _dataset_rows_per_rank(input_data, comm.rank, comm.size)
         outputs: dict[str, Any] = {}
         final: Any = None
         for i, job in enumerate(plan.jobs):
             source = SerialRuntime._job_input(job, i, plan, outputs, local)
-            final = self._run_job(engine, job, source)
+            with perf.phase(job.operator_name.lower(), clock=comm.clock):
+                final = self._run_job(engine, job, source)
             outputs[job.op_id] = final
+        perf_slots[comm.rank] = perf
         if not isinstance(final, dict):
             raise WorkflowError(
                 f"workflow {plan.workflow_id!r} must end with a Distribute job"
@@ -130,7 +136,7 @@ class MapReduceRuntime:
         # map: tag every entry with its sampled-range reduce-key and shuffle
         reducer_of = np.searchsorted(np.asarray(boundaries), sort_keys, side="left")
         owners = (reducer_of * comm.size) // reducers
-        chunks = self._exchange_chunks(comm, data, owners)
+        chunks = self._exchange_chunks(comm, data, owners, engine.perf)
         received = concat(chunks) if len(chunks) > 1 else chunks[0]
         # reduce: sort by the user key, strip the temporary reduce-key
         return op.apply_local(received)
@@ -145,7 +151,7 @@ class MapReduceRuntime:
             comm, keys, num_reducers=comm.size, sample_size=self.sample_size
         )
         owners = np.searchsorted(np.asarray(boundaries), keys, side="left")
-        chunks = self._exchange_chunks(comm, data, owners)
+        chunks = self._exchange_chunks(comm, data, owners, engine.perf)
         received = concat(chunks) if len(chunks) > 1 else chunks[0]
         return op.apply_local(received)
 
@@ -165,25 +171,32 @@ class MapReduceRuntime:
             offset = comm.exscan(n_local, SUM, identity=0)
             global_idx = np.arange(n_local, dtype=np.int64) + offset
             owners_part = self._partition_ids(op, comm, global_idx, n_local)
-            # map: the partition id is the temporary reduce-key
+            # map: the partition id is the temporary reduce-key; one grouped
+            # take per non-empty partition (shared bucketize kernel)
             outboxes: list[list[tuple[int, int, Any]]] = [[] for _ in range(comm.size)]
-            for p in np.unique(owners_part):
-                mask = owners_part == p
-                chunk = stream.take(np.flatnonzero(mask))
-                dest_rank = reducer_part(int(p)) % comm.size
-                outboxes[dest_rank].append((int(p), int(global_idx[mask][0]), chunk))
+            for p, idx in enumerate(bucketize(owners_part, num_p)):
+                if not len(idx):
+                    continue
+                chunk = stream.take(idx)
+                if engine.perf is not None:
+                    engine.perf.count_move(len(idx), chunk.nbytes)
+                dest_rank = reducer_part(p) % comm.size
+                outboxes[dest_rank].append((p, int(global_idx[idx[0]]), chunk))
             inboxes = comm.alltoall(outboxes)
             for box in inboxes:
                 for p, first_idx, chunk in box:
                     collected.setdefault(p, []).append((stream_idx, first_idx, chunk))
         # reduce: strip the reduce-key, emit each owned partition
         result: dict[int, Dataset] = {}
-        empty = streams[0].take(np.empty(0, dtype=np.int64)).to_flat()
-        for p in range(num_p):
-            if p % comm.size != comm.rank:
-                continue
+        owned = range(comm.rank, num_p, comm.size)
+        if not owned:
+            return result
+        empty: Any = None
+        for p in owned:
             chunks = collected.get(p)
             if not chunks:
+                if empty is None:
+                    empty = streams[0].take(np.empty(0, dtype=np.int64)).to_flat()
                 result[p] = empty
                 continue
             chunks.sort(key=lambda t: (t[0], t[1]))
@@ -210,9 +223,14 @@ class MapReduceRuntime:
 
     @staticmethod
     def _exchange_chunks(
-        comm: Communicator, data: Dataset, owners: np.ndarray
+        comm: Communicator,
+        data: Dataset,
+        owners: np.ndarray,
+        perf: Optional[PerfCounters] = None,
     ) -> list[Dataset]:
-        outboxes = [data.take(np.flatnonzero(owners == dest)) for dest in range(comm.size)]
+        outboxes = [data.take(idx) for idx in bucketize(owners, comm.size)]
+        if perf is not None:
+            perf.count_move(len(owners), sum(b.nbytes for b in outboxes))
         inboxes = comm.alltoall(outboxes)
         flats = [b.to_flat() for b in inboxes if len(b)]
         if not flats:

@@ -14,12 +14,18 @@ Two backends run the same :class:`~repro.core.planner.WorkflowPlan`:
 Both backends produce identical partitions (tested); the MPI backend
 additionally reports simulated time and shuffle volume when a cluster model
 is attached.
+
+Shuffle owner bucketization is shared with the MapReduce backend through
+:func:`repro.mapreduce.columnar.bucketize` — one stable argsort instead of a
+per-destination ``flatnonzero`` scan — and every backend threads a
+:class:`~repro.mapreduce.columnar.PerfCounters` through
+``PartitionResult.extra["perf"]`` (``python -m repro run --stats``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional, Sequence
+from typing import Any, Optional
 
 import numpy as np
 
@@ -27,6 +33,7 @@ from repro.cluster.model import ClusterModel
 from repro.core.dataset import Dataset, concat
 from repro.core.planner import PlannedJob, WorkflowPlan
 from repro.errors import WorkflowError
+from repro.mapreduce.columnar import PerfCounters, bucketize
 from repro.mapreduce.sampling import sample_key_ranges
 from repro.mpi import SUM, run_mpi
 from repro.mpi.comm import Communicator
@@ -52,6 +59,11 @@ class PartitionResult:
     def num_partitions(self) -> int:
         return len(self.partitions)
 
+    @property
+    def perf(self) -> Optional[dict[str, Any]]:
+        """The perf-counter summary, when the backend recorded one."""
+        return self.extra.get("perf")
+
 
 def _dataset_rows_per_rank(data: Dataset, rank: int, size: int) -> Dataset:
     """Contiguous block decomposition preserving global entry order."""
@@ -66,14 +78,18 @@ class SerialRuntime:
     """Single-process reference execution of a plan."""
 
     def execute(self, plan: WorkflowPlan, input_data: Dataset) -> PartitionResult:
+        perf = PerfCounters()
         outputs: dict[str, Any] = {}
         for i, job in enumerate(plan.jobs):
             source = self._job_input(job, i, plan, outputs, input_data)
-            outputs[job.op_id] = job.operator.apply_local(source)
+            with perf.phase(job.operator_name.lower()):
+                outputs[job.op_id] = job.operator.apply_local(source)
         final = outputs[plan.final_job.op_id]
         if isinstance(final, Dataset):
             final = [final]
-        return PartitionResult(partitions=list(final))
+        return PartitionResult(
+            partitions=list(final), extra={"perf": perf.summary()}
+        )
 
     @staticmethod
     def _job_input(
@@ -116,11 +132,14 @@ class MPIRuntime:
     # -- public API ---------------------------------------------------------
 
     def execute(self, plan: WorkflowPlan, input_data: Dataset) -> PartitionResult:
+        # one perf-counter slot per rank, merged after the run (rank threads
+        # write disjoint slots, so no locking is needed)
+        perf_slots: list[Optional[PerfCounters]] = [None] * self.num_ranks
         run = run_mpi(
             self._rank_program,
             self.num_ranks,
             cluster=self.cluster,
-            args=(plan, input_data),
+            args=(plan, input_data, perf_slots),
         )
         # each rank returns {partition_id: Dataset}; merge in partition order
         merged: dict[int, Dataset] = {}
@@ -132,21 +151,29 @@ class MPIRuntime:
             elapsed=run.elapsed,
             bytes_moved=run.bytes_moved,
             messages=run.messages,
+            extra={"perf": PerfCounters.merge_ranks(perf_slots).summary()},
         )
 
     # -- per-rank program ------------------------------------------------------
 
     def _rank_program(
-        self, comm: Communicator, plan: WorkflowPlan, input_data: Dataset
+        self,
+        comm: Communicator,
+        plan: WorkflowPlan,
+        input_data: Dataset,
+        perf_slots: list,
     ) -> dict[int, Dataset]:
+        perf = PerfCounters()
         local: Any = _dataset_rows_per_rank(input_data, comm.rank, comm.size)
         outputs: dict[str, Any] = {}
         final: Any = None
         for i, job in enumerate(plan.jobs):
             source = SerialRuntime._job_input(job, i, plan, outputs, local)
             self._charge_job_overhead(comm)
-            final = self._run_job(comm, job, source)
+            with perf.phase(job.operator_name.lower(), clock=comm.clock):
+                final = self._run_job(comm, job, source, perf)
             outputs[job.op_id] = final
+        perf_slots[comm.rank] = perf
         if not isinstance(final, dict):
             raise WorkflowError(
                 f"workflow {plan.workflow_id!r} must end with a Distribute job"
@@ -161,23 +188,27 @@ class MPIRuntime:
         if comm.cluster is not None:
             comm.charge_compute(comm.cluster.compute(single_core_cost))
 
-    def _run_job(self, comm: Communicator, job: PlannedJob, source: Any) -> Any:
+    def _run_job(
+        self, comm: Communicator, job: PlannedJob, source: Any, perf: PerfCounters
+    ) -> Any:
         op = job.operator
         if isinstance(op, Sort):
-            return self._sort_distributed(comm, op, source)
+            return self._sort_distributed(comm, op, source, perf)
         if isinstance(op, Group):
-            return self._group_distributed(comm, op, source)
+            return self._group_distributed(comm, op, source, perf)
         if isinstance(op, Split):
             self._charge(comm, _stream_cost(comm, source))
             return op.apply_local(source)
         if isinstance(op, Distribute):
-            return self._distribute_distributed(comm, op, source)
+            return self._distribute_distributed(comm, op, source, perf)
         # user-registered basic operator: run its local kernel
         return op.apply_local(source)
 
     # -- distributed sort (Figure 9, job 1) -----------------------------------
 
-    def _sort_distributed(self, comm: Communicator, op: Sort, data: Dataset) -> Dataset:
+    def _sort_distributed(
+        self, comm: Communicator, op: Sort, data: Dataset, perf: PerfCounters
+    ) -> Dataset:
         keys = np.asarray(data.column(op.key))
         sort_keys = keys if op.ascending else -keys
         boundaries = sample_key_ranges(
@@ -185,13 +216,15 @@ class MPIRuntime:
         )
         # vectorized RangePartitioner (bisect_left == searchsorted side="left")
         owners = np.searchsorted(np.asarray(boundaries), sort_keys, side="left")
-        received = self._exchange_entries(comm, data, owners)
+        received = self._exchange_entries(comm, data, owners, perf)
         self._charge(comm, _sort_cost(comm, len(received)))
         return op.apply_local(received)
 
     # -- distributed group (Figure 11, job 1) -------------------------------------
 
-    def _group_distributed(self, comm: Communicator, op: Group, data: Dataset) -> Dataset:
+    def _group_distributed(
+        self, comm: Communicator, op: Group, data: Dataset, perf: PerfCounters
+    ) -> Dataset:
         """Range-shuffle by the group key, then group locally.
 
         Key *ranges* (not hashes) keep the global group order ascending by
@@ -204,14 +237,14 @@ class MPIRuntime:
             comm, keys, num_reducers=comm.size, sample_size=self.sample_size
         )
         owners = np.searchsorted(np.asarray(boundaries), keys, side="left")
-        received = self._exchange_entries(comm, data, owners)
+        received = self._exchange_entries(comm, data, owners, perf)
         self._charge(comm, _hash_cost(comm, len(received)))
         return op.apply_local(received)
 
     # -- distributed distribute (Figures 9/11, last job) ----------------------------
 
     def _distribute_distributed(
-        self, comm: Communicator, op: Distribute, source: Any
+        self, comm: Communicator, op: Distribute, source: Any, perf: PerfCounters
     ) -> dict[int, Dataset]:
         streams = [source] if isinstance(source, Dataset) else list(source)
         num_p = op.num_partitions
@@ -221,26 +254,33 @@ class MPIRuntime:
             offset = comm.exscan(n_local, SUM, identity=0)
             global_idx = np.arange(n_local, dtype=np.int64) + offset
             owners_part = self._partition_of(op, comm, global_idx, n_local)
-            owner_rank = owners_part % comm.size
-            # ship (partition, global position, entries) to the owning rank
+            # ship (partition, global position, entries) to the owning rank:
+            # one grouped take per non-empty partition instead of a full
+            # owners_part scan per partition
             outboxes: list[list[tuple[int, int, Any]]] = [[] for _ in range(comm.size)]
-            for p in range(num_p):
-                mask = owners_part == p
-                if not mask.any():
+            buckets = bucketize(owners_part, num_p)
+            for p, idx in enumerate(buckets):
+                if not len(idx):
                     continue
-                chunk = stream.take(np.flatnonzero(mask))
-                outboxes[p % comm.size].append((p, int(global_idx[mask][0]), chunk))
+                chunk = stream.take(idx)
+                perf.count_move(len(idx), chunk.nbytes)
+                outboxes[p % comm.size].append((p, int(global_idx[idx[0]]), chunk))
             inboxes = comm.alltoall(outboxes)
             for box in inboxes:
                 for p, first_idx, chunk in box:
                     per_partition.setdefault(p, []).append((stream_idx, first_idx, chunk))
         result: dict[int, Dataset] = {}
-        empty = streams[0].take(np.empty(0, dtype=np.int64)).to_flat()
-        for p in range(num_p):
-            if p % comm.size != comm.rank:
-                continue
+        owned = range(comm.rank, num_p, comm.size)
+        if not owned:
+            # this rank owns no partitions (num_p < comm.size): nothing to
+            # assemble, so skip building the empty-sentinel dataset too
+            return result
+        empty: Optional[Dataset] = None
+        for p in owned:
             chunks = per_partition.get(p)
             if not chunks:
+                if empty is None:
+                    empty = streams[0].take(np.empty(0, dtype=np.int64)).to_flat()
                 result[p] = empty
                 continue
             chunks.sort(key=lambda t: (t[0], t[1]))
@@ -269,13 +309,16 @@ class MPIRuntime:
     # -- shuffle helper -------------------------------------------------------------
 
     def _exchange_entries(
-        self, comm: Communicator, data: Dataset, owners: np.ndarray
+        self,
+        comm: Communicator,
+        data: Dataset,
+        owners: np.ndarray,
+        perf: Optional[PerfCounters] = None,
     ) -> Dataset:
         """Ship each entry to ``owners[i]``; receive in source-rank order."""
-        outboxes = []
-        for dest in range(comm.size):
-            idx = np.flatnonzero(owners == dest)
-            outboxes.append(data.take(idx))
+        outboxes = [data.take(idx) for idx in bucketize(owners, comm.size)]
+        if perf is not None:
+            perf.count_move(len(owners), sum(b.nbytes for b in outboxes))
         inboxes = comm.alltoall(outboxes)
         flats = [b.to_flat() for b in inboxes if len(b)]
         if not flats:

@@ -16,6 +16,15 @@ the driving applications are C++.  This package provides the equivalent:
   (``get_splits`` / ``get_record_reader``) mentioned in Section III-A.
 """
 
+from repro.mapreduce.columnar import (
+    COMBINERS,
+    GroupedKVBatch,
+    KVBatch,
+    PerfCounters,
+    VectorCombiner,
+    bucketize,
+    concat_batches,
+)
 from repro.mapreduce.engine import MRMPIEngine
 from repro.mapreduce.job import MapReduceJob
 from repro.mapreduce.local import LocalEngine
@@ -24,6 +33,8 @@ from repro.mapreduce.partitioner import (
     HashPartitioner,
     Partitioner,
     RangePartitioner,
+    stable_hash,
+    stable_hash_array,
 )
 from repro.mapreduce.hadoop_engine import HadoopCluster, HadoopJobResult
 from repro.mapreduce.rebalance import imbalance, rebalance
@@ -43,4 +54,13 @@ __all__ = [
     "ExplicitPartitioner",
     "reservoir_sample",
     "sample_key_ranges",
+    "stable_hash",
+    "stable_hash_array",
+    "KVBatch",
+    "GroupedKVBatch",
+    "PerfCounters",
+    "VectorCombiner",
+    "COMBINERS",
+    "bucketize",
+    "concat_batches",
 ]

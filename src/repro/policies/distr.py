@@ -46,9 +46,9 @@ class DistributionPolicy:
         perm = self.permutation(n, num_partitions)
         counts = self.counts(n, num_partitions)
         owners = np.empty(n, dtype=np.int64)
-        offsets = np.concatenate(([0], np.cumsum(counts)))
-        for p in range(num_partitions):
-            owners[perm[offsets[p] : offsets[p + 1]]] = p
+        # scatter each partition's id over its contiguous permutation slice
+        # in one vectorized repeat instead of a per-partition loop
+        owners[perm] = np.repeat(np.arange(num_partitions, dtype=np.int64), counts)
         return owners
 
 
