@@ -71,6 +71,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--stats", action="store_true",
                        help="print shuffle perf counters (records/bytes moved, "
                             "per-phase wall and virtual time)")
+    p_run.add_argument("--faults", action="append", default=[], metavar="SPEC",
+                       help="inject a fault (repeatable), e.g. "
+                            "'crash:rank=1,job=0', 'drop:src=0,dst=2,p=0.5', "
+                            "'delay:p=0.1,seconds=0.25', "
+                            "'straggler:rank=3,factor=4'")
+    p_run.add_argument("--chaos-seed", type=int, default=0, metavar="N",
+                       help="seed for fault-injection draws and retry jitter")
+    p_run.add_argument("--checkpoint-dir", metavar="DIR",
+                       help="checkpoint job outputs here; a failed run "
+                            "resumes from the last fully-committed job")
+    p_run.add_argument("--max-attempts", type=int, default=None, metavar="N",
+                       help="retry budget for faulty runs (default 5 when "
+                            "fault tolerance is active)")
+    p_run.add_argument("--deadlock-grace", type=float, default=None,
+                       metavar="SECONDS",
+                       help="blocked-wait budget before a DeadlockError "
+                            "(default 60)")
     return parser
 
 
@@ -136,14 +153,47 @@ def print_stats(result) -> None:
             print(f"  {name.ljust(width)}  {t['wall_s']:>10.4f}  {t['virtual_s']:>10.4f}")
 
 
+def print_fault_report(result) -> None:
+    """Render ``extra['fault']`` (attempts, recovered jobs, injected faults)."""
+    fault = result.extra.get("fault")
+    if not fault:
+        return
+    recovered = ", ".join(fault["recovered_jobs"]) or "none"
+    print(
+        f"fault tolerance: {fault['attempts']} attempt(s), "
+        f"recovered jobs: {recovered}, "
+        f"backoff {fault['backoff_virtual_s']:.3f} s virtual"
+    )
+    injected = fault.get("injected")
+    if injected and injected.get("counts"):
+        fired = ", ".join(f"{k}={v}" for k, v in sorted(injected["counts"].items()))
+        print(f"  injected (seed {injected['seed']}): {fired}")
+    for line in fault.get("failures", []):
+        print(f"  {line}")
+
+
 def cmd_run(ns: argparse.Namespace) -> int:
     papar, workflow, args = _load(ns)
+    fault_tolerance: dict = {"chaos_seed": ns.chaos_seed}
+    if ns.faults:
+        fault_tolerance["faults"] = ns.faults
+    if ns.checkpoint_dir:
+        from repro.fault import DiskCheckpointStore
+
+        fault_tolerance["checkpoint"] = DiskCheckpointStore(ns.checkpoint_dir)
+    if ns.max_attempts is not None:
+        from repro.fault import RetryPolicy
+
+        fault_tolerance["retry"] = RetryPolicy(max_attempts=ns.max_attempts)
+    if ns.deadlock_grace is not None:
+        fault_tolerance["deadlock_grace"] = ns.deadlock_grace
     out = papar.partition_files(
-        workflow, args, backend=ns.backend, num_ranks=ns.ranks
+        workflow, args, backend=ns.backend, num_ranks=ns.ranks, **fault_tolerance
     )
     print(f"wrote {out.num_partitions} partition(s):")
     for path, part in zip(out.output_paths, out.partitions):
         print(f"  {path}  ({part.num_records} records)")
+    print_fault_report(out.result)
     if ns.stats:
         print_stats(out.result)
     return 0

@@ -94,11 +94,14 @@ def partition_files(
     num_ranks: int = 1,
     cluster: Optional[Any] = None,
     schema_id: Optional[str] = None,
+    **fault_tolerance: Any,
 ) -> FilePartitionResult:
     """Read the input file, run the workflow, write the partition files.
 
     ``args`` must bind the workflow's input path argument to a real file and
-    its output path argument to a directory.
+    its output path argument to a directory.  ``fault_tolerance`` keywords
+    (``faults``, ``checkpoint``, ``retry``, ``chaos_seed``,
+    ``deadlock_grace``) are forwarded to :meth:`repro.PaPar.run`.
     """
     spec = papar.load_workflow(workflow) if isinstance(workflow, str) else workflow
     input_arg, output_arg = find_io_arguments(spec)
@@ -114,7 +117,13 @@ def partition_files(
     schema = papar.schema(fmt_id)
     data: Dataset = papar.load_dataset(args[input_arg], fmt_id)
     result = papar.run(
-        spec, args, data=data, backend=backend, num_ranks=num_ranks, cluster=cluster
+        spec,
+        args,
+        data=data,
+        backend=backend,
+        num_ranks=num_ranks,
+        cluster=cluster,
+        **fault_tolerance,
     )
     paths = write_partition_files(args[output_arg], result, schema)
     return FilePartitionResult(result=result, output_paths=paths)

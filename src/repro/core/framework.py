@@ -143,8 +143,14 @@ class PaPar:
         num_ranks: int = 1,
         cluster: Optional[ClusterModel] = None,
         schema_id: Optional[str] = None,
+        **fault_tolerance: Any,
     ):
-        """End-to-end: read the input file, partition, write part-NNNNN files."""
+        """End-to-end: read the input file, partition, write part-NNNNN files.
+
+        Extra keyword arguments (``faults``, ``checkpoint``, ``retry``,
+        ``chaos_seed``, ``deadlock_grace``) configure fault tolerance, as in
+        :meth:`run`.
+        """
         from repro.core.files import partition_files as _partition_files
 
         return _partition_files(
@@ -155,6 +161,7 @@ class PaPar:
             num_ranks=num_ranks,
             cluster=cluster,
             schema_id=schema_id,
+            **fault_tolerance,
         )
 
     # -- execution ---------------------------------------------------------------------
@@ -167,22 +174,48 @@ class PaPar:
         backend: str = "serial",
         num_ranks: int = 1,
         cluster: Optional[ClusterModel] = None,
+        faults: Any = None,
+        checkpoint: Any = None,
+        retry: Any = None,
+        chaos_seed: int = 0,
+        deadlock_grace: Optional[float] = None,
     ) -> PartitionResult:
-        """Plan (if needed) and execute a workflow over ``data``."""
+        """Plan (if needed) and execute a workflow over ``data``.
+
+        Fault tolerance (SPMD backends only — see :mod:`repro.fault`):
+        ``faults`` takes a :class:`~repro.fault.FaultSchedule` (or CLI-style
+        spec strings), ``checkpoint`` a
+        :class:`~repro.fault.CheckpointStore`, ``retry`` a
+        :class:`~repro.fault.RetryPolicy`; ``chaos_seed`` seeds the
+        injector's deterministic draws and the backoff jitter, and
+        ``deadlock_grace`` bounds blocked waits before
+        :class:`~repro.errors.DeadlockError`.
+        """
         if isinstance(workflow, WorkflowPlan):
             plan = workflow
         else:
             plan = self.plan(workflow, args)
         if data is None:
             raise WorkflowError("run() needs an in-memory Dataset via data=...")
+        ft = dict(
+            faults=faults,
+            checkpoint=checkpoint,
+            retry=retry,
+            chaos_seed=chaos_seed,
+            deadlock_grace=deadlock_grace,
+        )
         if backend == "serial":
+            if faults is not None or checkpoint is not None or retry is not None:
+                raise WorkflowError(
+                    "fault tolerance needs an SPMD backend; use 'mpi' or 'mapreduce'"
+                )
             return SerialRuntime().execute(plan, data)
         if backend == "mpi":
-            return MPIRuntime(num_ranks=num_ranks, cluster=cluster).execute(plan, data)
+            return MPIRuntime(num_ranks=num_ranks, cluster=cluster, **ft).execute(plan, data)
         if backend == "mapreduce":
             from repro.core.mr_runtime import MapReduceRuntime
 
-            return MapReduceRuntime(num_ranks=num_ranks, cluster=cluster).execute(plan, data)
+            return MapReduceRuntime(num_ranks=num_ranks, cluster=cluster, **ft).execute(plan, data)
         raise WorkflowError(
             f"unknown backend {backend!r}; use 'serial', 'mpi' or 'mapreduce'"
         )

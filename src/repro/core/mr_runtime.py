@@ -32,13 +32,20 @@ import numpy as np
 from repro.cluster.model import ClusterModel
 from repro.core.dataset import Dataset, concat
 from repro.core.planner import PlannedJob, WorkflowPlan
-from repro.core.runtime import PartitionResult, SerialRuntime, _dataset_rows_per_rank
+from repro.core.runtime import (
+    PartitionResult,
+    RecoveringRuntimeMixin,
+    SerialRuntime,
+    _dataset_rows_per_rank,
+)
 from repro.errors import WorkflowError
+from repro.fault.checkpoint import CheckpointStore, job_key
+from repro.fault.retry import RetryPolicy
 from repro.mapreduce.columnar import PerfCounters, bucketize
 from repro.mapreduce.engine import MRMPIEngine
 from repro.mapreduce.partitioner import ExplicitPartitioner
 from repro.mapreduce.sampling import sample_key_ranges
-from repro.mpi import SUM, run_mpi
+from repro.mpi import SUM
 from repro.mpi.comm import Communicator
 from repro.ops.distribute import Distribute
 from repro.ops.group import Group
@@ -46,7 +53,7 @@ from repro.ops.sort import Sort
 from repro.ops.split import Split
 
 
-class MapReduceRuntime:
+class MapReduceRuntime(RecoveringRuntimeMixin):
     """Executes a workflow plan as a sequence of MR-MPI jobs."""
 
     def __init__(
@@ -54,6 +61,12 @@ class MapReduceRuntime:
         num_ranks: int,
         cluster: Optional[ClusterModel] = None,
         sample_size: int = 512,
+        *,
+        faults: Any = None,
+        chaos_seed: int = 0,
+        checkpoint: Optional[CheckpointStore] = None,
+        retry: Optional[RetryPolicy] = None,
+        deadlock_grace: Optional[float] = None,
     ) -> None:
         if cluster is not None and cluster.size != num_ranks:
             raise WorkflowError(
@@ -62,30 +75,35 @@ class MapReduceRuntime:
         self.num_ranks = num_ranks
         self.cluster = cluster
         self.sample_size = sample_size
+        self._init_fault_tolerance(faults, chaos_seed, checkpoint, retry, deadlock_grace)
 
     def execute(self, plan: WorkflowPlan, input_data: Dataset) -> PartitionResult:
-        perf_slots: list = [None] * self.num_ranks
-        run = run_mpi(
-            self._rank_program,
-            self.num_ranks,
-            cluster=self.cluster,
-            args=(plan, input_data, perf_slots),
-        )
+        run, perf_slots, fault_report = self._execute_spmd(plan, input_data)
         merged: dict[int, Dataset] = {}
         for rank_out in run.results:
             merged.update(rank_out)
+        extra: dict[str, Any] = {"perf": PerfCounters.merge_ranks(perf_slots).summary()}
+        if fault_report is not None:
+            extra["fault"] = fault_report
         return PartitionResult(
             partitions=[merged[p] for p in sorted(merged)],
             elapsed=run.elapsed,
             bytes_moved=run.bytes_moved,
             messages=run.messages,
-            extra={"perf": PerfCounters.merge_ranks(perf_slots).summary()},
+            extra=extra,
         )
 
     # -- per-rank program ---------------------------------------------------
 
     def _rank_program(
-        self, comm: Communicator, plan: WorkflowPlan, input_data: Dataset, perf_slots: list
+        self,
+        comm: Communicator,
+        plan: WorkflowPlan,
+        input_data: Dataset,
+        perf_slots: list,
+        checkpoint: Optional[CheckpointStore] = None,
+        resume: int = 0,
+        fingerprint: str = "",
     ) -> dict[int, Dataset]:
         perf = PerfCounters()
         engine = MRMPIEngine(comm, perf=perf)
@@ -93,10 +111,23 @@ class MapReduceRuntime:
         outputs: dict[str, Any] = {}
         final: Any = None
         for i, job in enumerate(plan.jobs):
+            if i < resume:
+                saved = checkpoint.load(job_key(fingerprint, i, job.op_id, comm.rank))
+                final = saved["output"]
+                outputs[job.op_id] = final
+                comm.clock.merge(saved["clock"])
+                continue
             source = SerialRuntime._job_input(job, i, plan, outputs, local)
+            comm.check_fault(i, "before")
             with perf.phase(job.operator_name.lower(), clock=comm.clock):
                 final = self._run_job(engine, job, source)
             outputs[job.op_id] = final
+            comm.check_fault(i, "after")
+            if checkpoint is not None:
+                checkpoint.save(
+                    job_key(fingerprint, i, job.op_id, comm.rank),
+                    {"output": final, "clock": comm.clock.now},
+                )
         perf_slots[comm.rank] = perf
         if not isinstance(final, dict):
             raise WorkflowError(

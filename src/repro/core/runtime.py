@@ -20,12 +20,20 @@ Shuffle owner bucketization is shared with the MapReduce backend through
 per-destination ``flatnonzero`` scan — and every backend threads a
 :class:`~repro.mapreduce.columnar.PerfCounters` through
 ``PartitionResult.extra["perf"]`` (``python -m repro run --stats``).
+
+Fault tolerance (see :mod:`repro.fault`): the SPMD backends accept a fault
+schedule, a checkpoint store, and a retry policy.  Failed attempts (injected
+crashes, lost/corrupted messages, deadlocks) are retried with virtual-time
+backoff, resuming from the last job every rank checkpointed; the recovery
+report lands in ``PartitionResult.extra["fault"]``.  Without any of those
+arguments the execution path is byte-for-byte the old one — a fault-free run
+pays nothing.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Callable, Optional
 
 import numpy as np
 
@@ -33,10 +41,16 @@ from repro.cluster.model import ClusterModel
 from repro.core.dataset import Dataset, concat
 from repro.core.planner import PlannedJob, WorkflowPlan
 from repro.errors import WorkflowError
+from repro.fault.checkpoint import CheckpointStore, job_key, plan_fingerprint
+from repro.fault.injector import FaultInjector
+from repro.fault.retry import RetryPolicy
+from repro.fault.runner import execute_with_recovery
+from repro.fault.schedule import FaultSchedule
 from repro.mapreduce.columnar import PerfCounters, bucketize
 from repro.mapreduce.sampling import sample_key_ranges
 from repro.mpi import SUM, run_mpi
 from repro.mpi.comm import Communicator
+from repro.mpi.launcher import MPIRun
 from repro.ops.distribute import Distribute
 from repro.ops.group import Group
 from repro.ops.sort import Sort
@@ -112,7 +126,95 @@ class SerialRuntime:
         return val
 
 
-class MPIRuntime:
+class RecoveringRuntimeMixin:
+    """Shared fault-tolerance plumbing for the SPMD runtimes.
+
+    Subclasses provide ``num_ranks``, ``cluster`` and a ``_rank_program``
+    accepting ``(comm, plan, input_data, perf_slots, checkpoint=, resume=,
+    fingerprint=)``; this mixin owns the retry/resume loop around
+    :func:`repro.mpi.run_mpi` and keeps the fault-free path identical to a
+    runtime without any fault-tolerance configuration.
+    """
+
+    def _init_fault_tolerance(
+        self,
+        faults: Any = None,
+        chaos_seed: int = 0,
+        checkpoint: Optional[CheckpointStore] = None,
+        retry: Optional[RetryPolicy] = None,
+        deadlock_grace: Optional[float] = None,
+    ) -> None:
+        #: normalized fault schedule (``None`` when no faults were configured)
+        self.faults = FaultSchedule.coerce(faults)
+        self.chaos_seed = chaos_seed
+        self.checkpoint = checkpoint
+        self.retry = retry
+        self.deadlock_grace = deadlock_grace
+
+    @property
+    def fault_tolerant(self) -> bool:
+        """True when any fault-tolerance feature was configured."""
+        return (
+            bool(self.faults) or self.checkpoint is not None or self.retry is not None
+        )
+
+    def _execute_spmd(
+        self, plan: WorkflowPlan, input_data: Dataset
+    ) -> tuple[MPIRun, list, Optional[dict[str, Any]]]:
+        """Run the rank program (with recovery when configured).
+
+        Returns ``(run, perf_slots, fault_report)``; the report is ``None``
+        for a plain run.
+        """
+        rank_program: Callable = self._rank_program  # type: ignore[attr-defined]
+        if not self.fault_tolerant:
+            perf_slots: list[Optional[PerfCounters]] = [None] * self.num_ranks
+            run = run_mpi(
+                rank_program,
+                self.num_ranks,
+                cluster=self.cluster,
+                args=(plan, input_data, perf_slots),
+                deadlock_grace=self.deadlock_grace,
+            )
+            return run, perf_slots, None
+        injector = (
+            FaultInjector(self.faults, seed=self.chaos_seed) if self.faults else None
+        )
+        fingerprint = plan_fingerprint(plan, input_data, self.num_ranks)
+        live_slots: list = []
+
+        def attempt(resume: int, start_time: float) -> MPIRun:
+            slots: list[Optional[PerfCounters]] = [None] * self.num_ranks
+            live_slots[:] = [slots]
+            return run_mpi(
+                rank_program,
+                self.num_ranks,
+                cluster=self.cluster,
+                args=(plan, input_data, slots),
+                kwargs={
+                    "checkpoint": self.checkpoint,
+                    "resume": resume,
+                    "fingerprint": fingerprint,
+                },
+                fault_injector=injector,
+                deadlock_grace=self.deadlock_grace,
+                start_time=start_time,
+            )
+
+        run, report = execute_with_recovery(
+            attempt,
+            plan=plan,
+            fingerprint=fingerprint,
+            size=self.num_ranks,
+            store=self.checkpoint,
+            retry=self.retry,
+            injector=injector,
+            seed=self.chaos_seed,
+        )
+        return run, live_slots[0], report
+
+
+class MPIRuntime(RecoveringRuntimeMixin):
     """SPMD execution of a plan on the simulated MPI runtime."""
 
     def __init__(
@@ -120,6 +222,12 @@ class MPIRuntime:
         num_ranks: int,
         cluster: Optional[ClusterModel] = None,
         sample_size: int = 512,
+        *,
+        faults: Any = None,
+        chaos_seed: int = 0,
+        checkpoint: Optional[CheckpointStore] = None,
+        retry: Optional[RetryPolicy] = None,
+        deadlock_grace: Optional[float] = None,
     ) -> None:
         if cluster is not None and cluster.size != num_ranks:
             raise WorkflowError(
@@ -128,30 +236,28 @@ class MPIRuntime:
         self.num_ranks = num_ranks
         self.cluster = cluster
         self.sample_size = sample_size
+        self._init_fault_tolerance(faults, chaos_seed, checkpoint, retry, deadlock_grace)
 
     # -- public API ---------------------------------------------------------
 
     def execute(self, plan: WorkflowPlan, input_data: Dataset) -> PartitionResult:
         # one perf-counter slot per rank, merged after the run (rank threads
         # write disjoint slots, so no locking is needed)
-        perf_slots: list[Optional[PerfCounters]] = [None] * self.num_ranks
-        run = run_mpi(
-            self._rank_program,
-            self.num_ranks,
-            cluster=self.cluster,
-            args=(plan, input_data, perf_slots),
-        )
+        run, perf_slots, fault_report = self._execute_spmd(plan, input_data)
         # each rank returns {partition_id: Dataset}; merge in partition order
         merged: dict[int, Dataset] = {}
         for rank_out in run.results:
             merged.update(rank_out)
         partitions = [merged[p] for p in sorted(merged)]
+        extra: dict[str, Any] = {"perf": PerfCounters.merge_ranks(perf_slots).summary()}
+        if fault_report is not None:
+            extra["fault"] = fault_report
         return PartitionResult(
             partitions=partitions,
             elapsed=run.elapsed,
             bytes_moved=run.bytes_moved,
             messages=run.messages,
-            extra={"perf": PerfCounters.merge_ranks(perf_slots).summary()},
+            extra=extra,
         )
 
     # -- per-rank program ------------------------------------------------------
@@ -162,17 +268,37 @@ class MPIRuntime:
         plan: WorkflowPlan,
         input_data: Dataset,
         perf_slots: list,
+        checkpoint: Optional[CheckpointStore] = None,
+        resume: int = 0,
+        fingerprint: str = "",
     ) -> dict[int, Dataset]:
         perf = PerfCounters()
         local: Any = _dataset_rows_per_rank(input_data, comm.rank, comm.size)
         outputs: dict[str, Any] = {}
         final: Any = None
         for i, job in enumerate(plan.jobs):
+            if i < resume:
+                # job fully committed by a previous attempt: restore instead
+                # of recomputing (and advance to the checkpointed clock)
+                saved = checkpoint.load(job_key(fingerprint, i, job.op_id, comm.rank))
+                final = saved["output"]
+                outputs[job.op_id] = final
+                comm.clock.merge(saved["clock"])
+                continue
             source = SerialRuntime._job_input(job, i, plan, outputs, local)
+            comm.check_fault(i, "before")
             self._charge_job_overhead(comm)
             with perf.phase(job.operator_name.lower(), clock=comm.clock):
                 final = self._run_job(comm, job, source, perf)
             outputs[job.op_id] = final
+            # an "after" crash fires before the checkpoint commits, so the
+            # next attempt re-runs this job on every rank
+            comm.check_fault(i, "after")
+            if checkpoint is not None:
+                checkpoint.save(
+                    job_key(fingerprint, i, job.op_id, comm.rank),
+                    {"output": final, "clock": comm.clock.now},
+                )
         perf_slots[comm.rank] = perf
         if not isinstance(final, dict):
             raise WorkflowError(

@@ -40,6 +40,33 @@ class MPIError(PaParError):
     """Errors from the simulated MPI runtime."""
 
 
+class DeadlockError(MPIError):
+    """A rank waited past the fabric's ``deadlock_grace`` for a message.
+
+    Carries the blocked ranks' pending ``(source, tag)`` state so that a
+    stuck collective is diagnosable instead of hanging the run forever.
+    """
+
+    def __init__(self, message: str, rank: int = -1, pending: dict | None = None) -> None:
+        super().__init__(message)
+        #: the rank that gave up waiting
+        self.rank = rank
+        #: snapshot of blocked ranks -> (source, tag) at the time of the error
+        self.pending = dict(pending or {})
+
+
+class InjectedFault(MPIError):
+    """A failure deliberately injected by the fault-injection layer."""
+
+
+class CorruptMessageError(MPIError):
+    """A message failed its transport checksum (injected corruption)."""
+
+
+class FaultToleranceError(PaParError):
+    """The fault-tolerance layer was misconfigured or exhausted its retries."""
+
+
 class MapReduceError(PaParError):
     """Errors from the MapReduce engine."""
 

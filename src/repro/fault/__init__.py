@@ -1,0 +1,53 @@
+"""Fault injection, checkpoint/restart, and retry for the simulated cluster.
+
+The paper motivates PaPar against runtime skew/straggler mechanisms (Hadoop
+speculative execution, LATE, Mantri); this package supplies the matching
+*failure* side of the runtime so recovery cost — not just throughput — can
+be studied on the simulator:
+
+* :class:`FaultSchedule` / :class:`FaultSpec` — declarative fault plans
+  (rank crashes around job *k*, per-link message drop / duplicate / delay /
+  corruption, slow-rank stragglers), parseable from CLI strings and
+  generatable from a chaos seed.
+* :class:`FaultInjector` — the deterministic, seeded engine that fires a
+  schedule: hooked into :meth:`repro.mpi.fabric.Fabric.deliver`, the
+  per-rank virtual clocks, and the runtimes' per-job boundaries.
+* :class:`MemoryCheckpointStore` / :class:`DiskCheckpointStore` — per-job,
+  per-rank snapshots of workflow outputs so a failed run resumes from the
+  last fully-committed job instead of starting over.
+* :class:`RetryPolicy` + :func:`execute_with_recovery` — bounded retries
+  with exponential backoff and deterministic jitter, charged to the
+  *virtual* clock of the next attempt.
+
+Fault-free runs pay nothing: every hook is behind an ``injector is None``
+check and the runtimes bypass the recovery loop entirely when no fault
+tolerance was configured.
+"""
+
+from repro.fault.checkpoint import (
+    CheckpointStore,
+    DiskCheckpointStore,
+    MemoryCheckpointStore,
+    committed_prefix,
+    job_key,
+    plan_fingerprint,
+)
+from repro.fault.injector import FaultInjector
+from repro.fault.retry import RetryPolicy
+from repro.fault.runner import execute_with_recovery
+from repro.fault.schedule import FaultSchedule, FaultSpec, parse_fault_spec
+
+__all__ = [
+    "CheckpointStore",
+    "DiskCheckpointStore",
+    "MemoryCheckpointStore",
+    "FaultInjector",
+    "FaultSchedule",
+    "FaultSpec",
+    "RetryPolicy",
+    "committed_prefix",
+    "execute_with_recovery",
+    "job_key",
+    "parse_fault_spec",
+    "plan_fingerprint",
+]

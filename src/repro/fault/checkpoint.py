@@ -1,0 +1,183 @@
+"""Per-job checkpointing of workflow outputs.
+
+After each planned job completes, every rank snapshots its local output
+(plus its virtual clock) under a key derived from the plan, the input data,
+the rank count, and the job.  On retry, the driver computes the longest
+*fully committed* job prefix — jobs for which **all** ranks saved a
+checkpoint — and every rank of the next attempt resumes from there, loading
+the saved outputs instead of recomputing (and re-shuffling) them.
+
+Commit is per-rank and non-atomic on purpose: a rank that crashes *after*
+running a job but *before* saving leaves that job uncommitted, so the next
+attempt deterministically re-runs it on all ranks — the collective schedules
+of the attempt stay aligned.
+
+Two stores are provided: :class:`MemoryCheckpointStore` (values round-trip
+through pickle, so later mutation of a live object cannot corrupt the
+snapshot) and :class:`DiskCheckpointStore` (one file per key, written
+atomically via rename so a crashed writer never leaves a torn checkpoint).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+import urllib.parse
+from typing import Any, Iterable
+
+from repro.errors import FaultToleranceError
+
+
+class CheckpointStore:
+    """Interface: a key/value store for job-output snapshots."""
+
+    def save(self, key: str, value: Any) -> None:
+        raise NotImplementedError
+
+    def load(self, key: str) -> Any:
+        raise NotImplementedError
+
+    def contains(self, key: str) -> bool:
+        raise NotImplementedError
+
+    def keys(self) -> list[str]:
+        raise NotImplementedError
+
+    def clear(self) -> None:
+        raise NotImplementedError
+
+    def __contains__(self, key: str) -> bool:
+        return self.contains(key)
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+
+class MemoryCheckpointStore(CheckpointStore):
+    """In-memory store; snapshots are isolated via a pickle round-trip."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._data: dict[str, bytes] = {}
+
+    def save(self, key: str, value: Any) -> None:
+        blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        with self._lock:
+            self._data[key] = blob
+
+    def load(self, key: str) -> Any:
+        with self._lock:
+            try:
+                blob = self._data[key]
+            except KeyError:
+                raise FaultToleranceError(f"no checkpoint under key {key!r}") from None
+        return pickle.loads(blob)
+
+    def contains(self, key: str) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def keys(self) -> list[str]:
+        with self._lock:
+            return sorted(self._data)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    @property
+    def nbytes(self) -> int:
+        """Total pickled size of the stored snapshots."""
+        with self._lock:
+            return sum(len(b) for b in self._data.values())
+
+
+class DiskCheckpointStore(CheckpointStore):
+    """One pickle file per key under ``directory``; atomic via rename.
+
+    Keys are percent-encoded into filenames so they round-trip losslessly
+    through :meth:`keys`.
+    """
+
+    _SUFFIX = ".ckpt"
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self.directory = os.fspath(directory)
+        os.makedirs(self.directory, exist_ok=True)
+
+    def _path(self, key: str) -> str:
+        return os.path.join(
+            self.directory, urllib.parse.quote(key, safe="") + self._SUFFIX
+        )
+
+    def save(self, key: str, value: Any) -> None:
+        path = self._path(key)
+        tmp = f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
+        with open(tmp, "wb") as fh:
+            pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+
+    def load(self, key: str) -> Any:
+        try:
+            with open(self._path(key), "rb") as fh:
+                return pickle.load(fh)
+        except FileNotFoundError:
+            raise FaultToleranceError(f"no checkpoint under key {key!r}") from None
+
+    def contains(self, key: str) -> bool:
+        return os.path.exists(self._path(key))
+
+    def keys(self) -> list[str]:
+        names = []
+        for name in os.listdir(self.directory):
+            if name.endswith(self._SUFFIX):
+                names.append(urllib.parse.unquote(name[: -len(self._SUFFIX)]))
+        return sorted(names)
+
+    def clear(self) -> None:
+        for name in os.listdir(self.directory):
+            if name.endswith(self._SUFFIX):
+                os.unlink(os.path.join(self.directory, name))
+
+
+# -- key derivation ------------------------------------------------------------
+
+
+def plan_fingerprint(plan: Any, input_data: Any, size: int) -> str:
+    """A key prefix binding checkpoints to (plan, input, rank count).
+
+    Resuming is only sound when all three match, so they are baked into
+    every key; a different input file or rank count starts from scratch.
+    """
+    return (
+        f"{plan.workflow_id}/{len(plan.jobs)}jobs/{size}ranks/"
+        f"{input_data.num_records}rec-{input_data.nbytes}B"
+    )
+
+
+def job_key(fingerprint: str, job_index: int, op_id: str, rank: int) -> str:
+    """The store key for one rank's output of one planned job."""
+    return f"{fingerprint}/job{job_index}-{op_id}/rank{rank}"
+
+
+def committed_prefix(
+    store: CheckpointStore, fingerprint: str, jobs: Iterable[Any], size: int
+) -> int:
+    """Number of leading jobs for which *every* rank has a checkpoint."""
+    jobs = list(jobs)
+    for i, job in enumerate(jobs):
+        keys = (job_key(fingerprint, i, job.op_id, r) for r in range(size))
+        if not all(store.contains(k) for k in keys):
+            return i
+    return len(jobs)
+
+
+__all__ = [
+    "CheckpointStore",
+    "DiskCheckpointStore",
+    "MemoryCheckpointStore",
+    "committed_prefix",
+    "job_key",
+    "plan_fingerprint",
+]

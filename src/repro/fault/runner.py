@@ -1,0 +1,81 @@
+"""The shared recovery loop wrapped around a runtime's SPMD attempts.
+
+Both :class:`~repro.core.runtime.MPIRuntime` and
+:class:`~repro.core.mr_runtime.MapReduceRuntime` execute a plan as one
+``run_mpi`` call; this module retries that call under a
+:class:`~repro.fault.retry.RetryPolicy`, resuming each attempt from the
+checkpoint store's committed job prefix and accumulating the fault report
+that lands in ``PartitionResult.extra["fault"]``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.errors import FaultToleranceError, MPIError
+from repro.fault.checkpoint import CheckpointStore, committed_prefix
+from repro.fault.injector import FaultInjector
+from repro.fault.retry import RetryPolicy
+
+#: ``attempt_fn(resume_index, start_time_s) -> result`` — one SPMD attempt,
+#: resuming after the first ``resume_index`` jobs with per-rank virtual
+#: clocks starting at ``start_time_s``.
+AttemptFn = Callable[[int, float], Any]
+
+
+def execute_with_recovery(
+    attempt_fn: AttemptFn,
+    *,
+    plan: Any,
+    fingerprint: str,
+    size: int,
+    store: Optional[CheckpointStore] = None,
+    retry: Optional[RetryPolicy] = None,
+    injector: Optional[FaultInjector] = None,
+    seed: int = 0,
+) -> tuple[Any, dict[str, Any]]:
+    """Run ``attempt_fn`` until it survives; return ``(result, fault_report)``.
+
+    Only :class:`~repro.errors.MPIError` failures (aborts, deadlocks,
+    injected faults, corruption) are retried — programming errors propagate
+    unchanged on the first attempt.
+    """
+    retry = retry or RetryPolicy()
+    attempts = 0
+    backoff_total = 0.0
+    failures: list[str] = []
+    recovered_jobs: list[str] = []
+    while True:
+        attempts += 1
+        resume = (
+            committed_prefix(store, fingerprint, plan.jobs, size)
+            if store is not None
+            else 0
+        )
+        if injector is not None:
+            injector.begin_attempt()
+        try:
+            result = attempt_fn(resume, backoff_total)
+        except MPIError as exc:
+            failures.append(f"attempt {attempts}: {exc!r}")
+            if not retry.should_retry(attempts):
+                raise FaultToleranceError(
+                    f"workflow {plan.workflow_id!r} still failing after "
+                    f"{attempts} attempt(s); failures: {failures}"
+                ) from exc
+            backoff_total += retry.delay_s(attempts, seed=seed)
+            continue
+        if resume:
+            recovered_jobs = [job.op_id for job in plan.jobs[:resume]]
+        report: dict[str, Any] = {
+            "attempts": attempts,
+            "recovered_jobs": recovered_jobs,
+            "backoff_virtual_s": backoff_total,
+            "failures": failures,
+        }
+        if injector is not None:
+            report["injected"] = injector.summary()
+        return result, report
+
+
+__all__ = ["execute_with_recovery"]

@@ -53,6 +53,8 @@ class MRMPIEngine:
         self.comm = comm
         #: optional perf-counter sink (records / bytes moved by shuffles)
         self.perf = perf
+        #: jobs this engine has started (fault-injection job boundary index)
+        self.jobs_run = 0
 
     # -- cost charging -------------------------------------------------------
 
@@ -245,7 +247,15 @@ class MRMPIEngine:
         descending: bool = False,
         combiner: Optional[ReduceFn] = None,
     ) -> KVInput:
-        """One full map -> (combine) -> collate -> (sort) -> reduce job."""
+        """One full map -> (combine) -> collate -> (sort) -> reduce job.
+
+        Each job is a fault-injection boundary: a scheduled rank crash for
+        this engine's job index fires before the map phase or after the
+        reduce phase (see :meth:`repro.mpi.comm.Communicator.check_fault`).
+        """
+        job_index = self.jobs_run
+        self.jobs_run += 1
+        self.comm.check_fault(job_index, "before")
         self.charge_job_overhead()
         kv = self.map(local_items, map_fn)
         if combiner is not None:
@@ -256,7 +266,9 @@ class MRMPIEngine:
         if sort_keys:
             shuffled = self.sort_local(shuffled, descending=descending)
         grouped = self.group(shuffled)
-        return self.reduce(grouped, reduce_fn)
+        out = self.reduce(grouped, reduce_fn)
+        self.comm.check_fault(job_index, "after")
+        return out
 
     def gather_output(self, local_output: Union[Sequence[Any], KVBatch]) -> Optional[list[Any]]:
         """Collect per-rank outputs at rank 0, concatenated in rank order."""

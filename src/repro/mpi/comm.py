@@ -58,6 +58,10 @@ class Communicator:
     rank_map:
         Communicator-rank -> world-rank mapping used for network cost lookups
         on sub-communicators produced by :meth:`split`.
+    injector:
+        Optional :class:`~repro.fault.injector.FaultInjector`; when given,
+        compute charging honours straggler slowdowns and the runtimes'
+        per-job :meth:`check_fault` calls can fire scheduled rank crashes.
     """
 
     def __init__(
@@ -67,6 +71,7 @@ class Communicator:
         cluster: Optional[ClusterModel] = None,
         clock: Optional[VirtualClock] = None,
         rank_map: Optional[Sequence[int]] = None,
+        injector: Optional[Any] = None,
     ) -> None:
         if not (0 <= rank < fabric.size):
             raise MPIError(f"rank {rank} out of range for size {fabric.size}")
@@ -76,6 +81,7 @@ class Communicator:
         self.clock = clock if clock is not None else VirtualClock()
         self._rank_map = list(rank_map) if rank_map is not None else list(range(fabric.size))
         self._coord_seq = 0
+        self.injector = injector
 
     # -- introspection -------------------------------------------------------
 
@@ -102,8 +108,26 @@ class Communicator:
     # -- virtual-time charging -------------------------------------------------
 
     def charge_compute(self, seconds: float) -> None:
-        """Advance this rank's clock by a local compute phase."""
+        """Advance this rank's clock by a local compute phase.
+
+        Under fault injection a straggler rank's compute is stretched by its
+        scheduled slowdown factor.
+        """
+        if self.injector is not None:
+            seconds = self.injector.scale_compute(self.world_rank(), seconds)
         self.clock.advance(seconds)
+
+    # -- fault-injection hook ---------------------------------------------------
+
+    def check_fault(self, job_index: int, when: str) -> None:
+        """Fire any crash fault scheduled for this rank at a job boundary.
+
+        Called by the runtimes ``before`` and ``after`` each planned job;
+        raises :class:`~repro.errors.InjectedFault` when the attached
+        injector has a matching crash scheduled.  No-op without an injector.
+        """
+        if self.injector is not None:
+            self.injector.check_crash(self.world_rank(), job_index, when)
 
     def _charge_send(self, nbytes: int, serialized: bool) -> float:
         """Advance the sender clock for send-side overhead; return send timestamp."""
@@ -478,7 +502,9 @@ class Communicator:
         # leaders (lowest world rank per color) create the group fabric
         deposit = None
         if members and members[0] == self.rank:
-            deposit = (color, Fabric(len(members)))
+            # the group fabric inherits the deadlock grace but not the fault
+            # injector: message-fault links are defined in world-rank space
+            deposit = (color, Fabric(len(members), deadlock_grace=self._fabric.deadlock_grace))
         self._coord_seq += 1
         fabrics = self._fabric.coordinate(("split-fab", self._coord_seq), self.rank, deposit, self.size)
         if color == UNDEFINED:
@@ -491,6 +517,7 @@ class Communicator:
             cluster=self.cluster,
             clock=self.clock,
             rank_map=[self._rank_map[r] for r in members],
+            injector=self.injector,
         )
 
     def dup(self) -> "Communicator":

@@ -9,8 +9,21 @@ MPI matching rules: ``(source, tag)`` with :data:`~repro.mpi.constants.ANY_SOURC
 source.
 
 If any rank dies with an exception the launcher calls :meth:`Fabric.abort`,
-which wakes every blocked receiver with :class:`~repro.errors.MPIError`
-instead of deadlocking the test suite.
+which wakes every blocked receiver *and* every ``split``/collective
+participant parked in :meth:`Fabric.coordinate` with
+:class:`~repro.errors.MPIError` instead of deadlocking the test suite.
+
+A receiver that waits longer than ``deadlock_grace`` seconds without the
+fabric being aborted raises :class:`~repro.errors.DeadlockError` carrying
+every blocked rank's pending ``(source, tag)`` state — the diagnosis layer
+for lost messages (see :mod:`repro.fault`).
+
+Fault injection: when a :class:`~repro.fault.injector.FaultInjector` is
+attached, :meth:`deliver` routes each message through it (drop / duplicate /
+delay / corrupt), duplicate copies are suppressed by per-destination
+sequence-number dedup, and :meth:`collect` verifies the transport checksum
+of any message the injector touched.  Without an injector all of that is a
+single ``is None`` check — the fault-free hot path is unchanged.
 """
 
 from __future__ import annotations
@@ -21,8 +34,11 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
-from repro.errors import MPIError
+from repro.errors import CorruptMessageError, DeadlockError, MPIError
 from repro.mpi.constants import ANY_SOURCE, ANY_TAG
+
+#: default seconds a blocked receiver waits before declaring a deadlock
+DEFAULT_DEADLOCK_GRACE = 60.0
 
 
 @dataclass
@@ -37,17 +53,23 @@ class Message:
     timestamp: float = 0.0
     #: True for the buffer-protocol ("capitalized") path
     is_buffer: bool = False
+    #: transport sequence number (assigned only under fault injection)
+    seq: int = -1
+    #: transport checksum of the *original* payload (fault injection only)
+    checksum: Optional[int] = None
 
 
 class _Mailbox:
     """Unmatched messages destined for one rank, plus its wakeup condvar."""
 
-    __slots__ = ("lock", "ready", "messages")
+    __slots__ = ("lock", "ready", "messages", "seen_seqs")
 
     def __init__(self) -> None:
         self.lock = threading.Lock()
         self.ready = threading.Condition(self.lock)
         self.messages: deque[Message] = deque()
+        #: sequence numbers already accepted (duplicate suppression)
+        self.seen_seqs: set[int] = set()
 
 
 @dataclass
@@ -67,10 +89,21 @@ class TrafficStats:
 class Fabric:
     """Message transport shared by all ranks of one communicator."""
 
-    def __init__(self, size: int) -> None:
+    def __init__(
+        self,
+        size: int,
+        deadlock_grace: float = DEFAULT_DEADLOCK_GRACE,
+        injector: Optional[Any] = None,
+    ) -> None:
         if size < 1:
             raise MPIError(f"communicator size must be >= 1, got {size!r}")
+        if deadlock_grace <= 0:
+            raise MPIError(f"deadlock_grace must be > 0 seconds, got {deadlock_grace!r}")
         self.size = size
+        #: seconds a blocked wait may last before raising :class:`DeadlockError`
+        self.deadlock_grace = deadlock_grace
+        #: optional :class:`~repro.fault.injector.FaultInjector`
+        self.injector = injector
         self._mailboxes = [_Mailbox() for _ in range(size)]
         self._aborted: Optional[BaseException] = None
         self._stats_lock = threading.Lock()
@@ -79,6 +112,8 @@ class Fabric:
         self._coord_lock = threading.Lock()
         self._coord: dict[Any, Any] = {}
         self._uid = itertools.count()
+        #: rank -> (source, tag) while that rank is blocked in :meth:`collect`
+        self._waiting: dict[int, tuple[int, int]] = {}
 
     # -- transport ---------------------------------------------------------
 
@@ -87,12 +122,28 @@ class Fabric:
         self._check_alive()
         if not (0 <= dest < self.size):
             raise MPIError(f"destination rank {dest} out of range (size {self.size})")
-        with self._stats_lock:
-            self.stats.record(msg.source, msg.nbytes)
+        if self.injector is None:
+            with self._stats_lock:
+                self.stats.record(msg.source, msg.nbytes)
+            box = self._mailboxes[dest]
+            with box.lock:
+                box.messages.append(msg)
+                box.ready.notify_all()
+            return
+        # fault-injected path: the injector decides the copies that reach the
+        # wire; per-destination sequence dedup suppresses duplicated copies
+        copies = self.injector.on_deliver(msg.source, dest, msg)
         box = self._mailboxes[dest]
-        with box.lock:
-            box.messages.append(msg)
-            box.ready.notify_all()
+        for copy in copies:
+            with box.lock:
+                if copy.seq in box.seen_seqs:
+                    self.injector.count_suppressed_duplicate()
+                    continue
+                box.seen_seqs.add(copy.seq)
+                box.messages.append(copy)
+                box.ready.notify_all()
+            with self._stats_lock:
+                self.stats.record(copy.source, copy.nbytes)
 
     def _match(self, box: _Mailbox, source: int, tag: int) -> Optional[Message]:
         """First message matching ``(source, tag)``; FIFO per source rank."""
@@ -105,23 +156,54 @@ class Fabric:
             return msg
         return None
 
+    @staticmethod
+    def _verify(msg: Message) -> Message:
+        """Check the transport checksum of an injector-touched message."""
+        if msg.checksum is not None:
+            from repro.fault.injector import checksum_of
+
+            if checksum_of(msg.payload) != msg.checksum:
+                raise CorruptMessageError(
+                    f"message from rank {msg.source} (tag {msg.tag}, "
+                    f"{msg.nbytes} B) failed its transport checksum"
+                )
+        return msg
+
     def collect(self, dest: int, source: int, tag: int, timeout: Optional[float] = None) -> Message:
-        """Block until a matching message arrives for rank ``dest``."""
+        """Block until a matching message arrives for rank ``dest``.
+
+        ``timeout`` bounds the wait explicitly (raising a plain
+        :class:`MPIError`); without it the fabric's ``deadlock_grace``
+        applies and expiry raises :class:`DeadlockError` with the blocked
+        ranks' pending state.
+        """
         box = self._mailboxes[dest]
-        with box.lock:
-            while True:
-                self._check_alive()
-                msg = self._match(box, source, tag)
-                if msg is not None:
-                    return msg
-                if not box.ready.wait(timeout=timeout or 60.0):
-                    if timeout is not None:
-                        raise MPIError(
-                            f"rank {dest} timed out waiting for message "
-                            f"(source={source}, tag={tag})"
-                        )
-                    # default long wait expired: keep waiting but re-check abort
+        self._waiting[dest] = (source, tag)
+        try:
+            with box.lock:
+                while True:
                     self._check_alive()
+                    msg = self._match(box, source, tag)
+                    if msg is not None:
+                        return self._verify(msg)
+                    if not box.ready.wait(timeout=timeout or self.deadlock_grace):
+                        self._check_alive()
+                        if timeout is not None:
+                            raise MPIError(
+                                f"rank {dest} timed out waiting for message "
+                                f"(source={source}, tag={tag})"
+                            )
+                        pending = dict(self._waiting)
+                        raise DeadlockError(
+                            f"rank {dest} made no progress for "
+                            f"{self.deadlock_grace:.1f}s waiting for a message "
+                            f"(source={source}, tag={tag}); blocked ranks: "
+                            f"{pending}",
+                            rank=dest,
+                            pending=pending,
+                        )
+        finally:
+            self._waiting.pop(dest, None)
 
     def probe(self, dest: int, source: int, tag: int) -> Optional[Message]:
         """Non-destructively look for a matching message (non-blocking)."""
@@ -139,15 +221,33 @@ class Fabric:
     # -- failure handling ----------------------------------------------------
 
     def abort(self, exc: BaseException) -> None:
-        """Mark the fabric dead and wake all blocked receivers."""
-        self._aborted = exc
+        """Mark the fabric dead and wake all blocked receivers *and* waiters
+        parked in :meth:`coordinate` (split/collective rendezvous).
+
+        The first abort wins: follow-on "communicator aborted" errors from
+        sibling ranks never mask the root cause.
+        """
+        if self._aborted is None:
+            self._aborted = exc
         for box in self._mailboxes:
             with box.lock:
                 box.ready.notify_all()
+        with self._coord_lock:
+            for entry in self._coord.values():
+                entry["cv"].notify_all()
 
     def _check_alive(self) -> None:
         if self._aborted is not None:
             raise MPIError(f"communicator aborted: {self._aborted!r}") from self._aborted
+
+    @property
+    def aborted(self) -> Optional[BaseException]:
+        """The exception the fabric was aborted with, if any."""
+        return self._aborted
+
+    def pending_waits(self) -> dict[int, tuple[int, int]]:
+        """Snapshot of ranks currently blocked in :meth:`collect`."""
+        return dict(self._waiting)
 
     # -- collective coordination ----------------------------------------------
 
@@ -156,8 +256,14 @@ class Fabric:
 
         Returns the full ``{rank: value}`` map once everyone has arrived.
         Used to implement ``split`` without a chicken-and-egg communicator.
+        An aborted fabric wakes the waiters immediately; a rendezvous stuck
+        longer than ``deadlock_grace`` raises :class:`DeadlockError` naming
+        the ranks that did arrive.
         """
         with self._coord_lock:
+            # a rank arriving after the fabric died would never be notified:
+            # fail fast instead of sleeping out the grace
+            self._check_alive()
             entry = self._coord.setdefault(
                 key,
                 {"values": {}, "left": 0, "cv": threading.Condition(self._coord_lock)},
@@ -167,8 +273,19 @@ class Fabric:
                 entry["cv"].notify_all()
             else:
                 while len(entry["values"]) < size:
-                    if not entry["cv"].wait(timeout=60.0):
+                    if not entry["cv"].wait(timeout=self.deadlock_grace):
                         self._check_alive()
+                        arrived = sorted(entry["values"])
+                        raise DeadlockError(
+                            f"coordination {key!r} stuck for "
+                            f"{self.deadlock_grace:.1f}s: ranks {arrived} of "
+                            f"{size} arrived; blocked receivers: "
+                            f"{dict(self._waiting)}",
+                            rank=rank,
+                            pending=dict(self._waiting),
+                        )
+                    # woken: either everyone arrived or the fabric aborted
+                    self._check_alive()
             values = entry["values"]
             entry["left"] += 1
             if entry["left"] == size:

@@ -16,7 +16,7 @@ from repro.cluster.clock import VirtualClock
 from repro.cluster.model import ClusterModel
 from repro.errors import MPIError
 from repro.mpi.comm import Communicator
-from repro.mpi.fabric import Fabric
+from repro.mpi.fabric import DEFAULT_DEADLOCK_GRACE, Fabric
 
 
 @dataclass
@@ -46,12 +46,21 @@ def run_mpi(
     cluster: Optional[ClusterModel] = None,
     args: Sequence[Any] = (),
     kwargs: Optional[dict[str, Any]] = None,
+    fault_injector: Optional[Any] = None,
+    deadlock_grace: Optional[float] = None,
+    start_time: float = 0.0,
 ) -> MPIRun:
     """Run ``fn(comm, *args, **kwargs)`` on ``size`` rank threads.
 
     When ``cluster`` is given its size must match ``size`` and each rank is
     charged virtual time for communication (and for whatever compute the rank
     charges explicitly via :meth:`Communicator.charge_compute`).
+
+    ``fault_injector`` attaches a :class:`~repro.fault.injector.FaultInjector`
+    to the fabric and every communicator; ``deadlock_grace`` overrides the
+    fabric's blocked-wait budget before :class:`~repro.errors.DeadlockError`;
+    ``start_time`` starts every rank's virtual clock at that many seconds
+    (how retry backoff is charged to the next attempt).
     """
     if size < 1:
         raise MPIError(f"size must be >= 1, got {size!r}")
@@ -60,10 +69,17 @@ def run_mpi(
             f"cluster model provides {cluster.size} ranks but run_mpi was asked for {size}"
         )
     kwargs = dict(kwargs or {})
-    fabric = Fabric(size)
-    clocks = [VirtualClock() for _ in range(size)]
+    fabric = Fabric(
+        size,
+        deadlock_grace=deadlock_grace if deadlock_grace is not None else DEFAULT_DEADLOCK_GRACE,
+        injector=fault_injector,
+    )
+    clocks = [VirtualClock(start_time) for _ in range(size)]
     comms = [
-        Communicator(rank, fabric, cluster=cluster, clock=clocks[rank]) for rank in range(size)
+        Communicator(
+            rank, fabric, cluster=cluster, clock=clocks[rank], injector=fault_injector
+        )
+        for rank in range(size)
     ]
 
     results: list[Any] = [None] * size
@@ -95,7 +111,10 @@ def run_mpi(
 
     first_error = next((e for e in errors if e is not None), None)
     if first_error is not None:
-        raise first_error
+        # prefer the exception that aborted the fabric: it is the root cause,
+        # not a follow-on "communicator aborted" error from a sibling rank
+        root = fabric.aborted
+        raise root if root is not None else first_error
 
     return MPIRun(
         results=results,

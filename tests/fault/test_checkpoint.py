@@ -1,0 +1,116 @@
+"""Checkpoint stores, key derivation, and the committed-prefix rule."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.errors import FaultToleranceError
+from repro.fault import (
+    DiskCheckpointStore,
+    MemoryCheckpointStore,
+    committed_prefix,
+    job_key,
+    plan_fingerprint,
+)
+
+
+@pytest.fixture(params=["memory", "disk"])
+def store(request, tmp_path):
+    if request.param == "memory":
+        return MemoryCheckpointStore()
+    return DiskCheckpointStore(tmp_path / "ckpt")
+
+
+class TestStores:
+    def test_round_trip(self, store):
+        value = {"output": [1, 2, 3], "clock": 4.5}
+        store.save("wf/job0/rank0", value)
+        assert store.load("wf/job0/rank0") == value
+        assert "wf/job0/rank0" in store
+        assert "wf/job0/rank1" not in store
+
+    def test_missing_key_raises(self, store):
+        with pytest.raises(FaultToleranceError):
+            store.load("nothing/here")
+
+    def test_keys_round_trip_awkward_characters(self, store):
+        key = "wf id/2jobs/4ranks/100rec-800B/job0-sort%1/rank0"
+        store.save(key, 1)
+        assert store.keys() == [key]
+
+    def test_overwrite_and_clear(self, store):
+        store.save("k", 1)
+        store.save("k", 2)
+        assert store.load("k") == 2
+        assert len(store) == 1
+        store.clear()
+        assert store.keys() == []
+
+    def test_snapshot_isolated_from_later_mutation(self, store):
+        value = {"output": [1, 2]}
+        store.save("k", value)
+        value["output"].append(3)
+        assert store.load("k") == {"output": [1, 2]}
+
+
+class TestDiskStore:
+    def test_persists_across_instances(self, tmp_path):
+        DiskCheckpointStore(tmp_path).save("k", {"v": 7})
+        assert DiskCheckpointStore(tmp_path).load("k") == {"v": 7}
+
+    def test_no_torn_tmp_files_left(self, tmp_path):
+        store = DiskCheckpointStore(tmp_path)
+        store.save("a", 1)
+        store.save("b", 2)
+        leftovers = [p for p in tmp_path.iterdir() if not p.name.endswith(".ckpt")]
+        assert leftovers == []
+
+
+def fake_plan(num_jobs=3):
+    jobs = [SimpleNamespace(op_id=f"op{i}") for i in range(num_jobs)]
+    return SimpleNamespace(workflow_id="wf", jobs=jobs)
+
+
+class TestCommittedPrefix:
+    def test_fingerprint_binds_plan_input_and_ranks(self):
+        plan = fake_plan(2)
+        data = SimpleNamespace(num_records=100, nbytes=800)
+        fp4 = plan_fingerprint(plan, data, 4)
+        fp8 = plan_fingerprint(plan, data, 8)
+        assert fp4 != fp8
+        other = SimpleNamespace(num_records=101, nbytes=808)
+        assert plan_fingerprint(plan, other, 4) != fp4
+
+    def test_prefix_requires_every_rank(self):
+        store = MemoryCheckpointStore()
+        plan = fake_plan(3)
+        assert committed_prefix(store, "fp", plan.jobs, 2) == 0
+        store.save(job_key("fp", 0, "op0", 0), 1)
+        assert committed_prefix(store, "fp", plan.jobs, 2) == 0, (
+            "one rank's checkpoint is not a commit"
+        )
+        store.save(job_key("fp", 0, "op0", 1), 1)
+        assert committed_prefix(store, "fp", plan.jobs, 2) == 1
+
+    def test_prefix_stops_at_first_gap(self):
+        store = MemoryCheckpointStore()
+        plan = fake_plan(3)
+        # job 0 and job 2 committed, job 1 not: prefix must stop at 1
+        for job_index in (0, 2):
+            for rank in range(2):
+                store.save(job_key("fp", job_index, f"op{job_index}", rank), 1)
+        assert committed_prefix(store, "fp", plan.jobs, 2) == 1
+
+    def test_full_commit_returns_job_count(self):
+        store = MemoryCheckpointStore()
+        plan = fake_plan(2)
+        for job_index in range(2):
+            for rank in range(3):
+                store.save(job_key("fp", job_index, f"op{job_index}", rank), 1)
+        assert committed_prefix(store, "fp", plan.jobs, 3) == 2
+
+    def test_different_fingerprints_do_not_mix(self):
+        store = MemoryCheckpointStore()
+        plan = fake_plan(1)
+        store.save(job_key("fpA", 0, "op0", 0), 1)
+        assert committed_prefix(store, "fpB", plan.jobs, 1) == 0

@@ -1,0 +1,86 @@
+"""FaultSpec/FaultSchedule parsing and seeded chaos generation."""
+
+import pytest
+
+from repro.errors import FaultToleranceError
+from repro.fault import FaultSchedule, FaultSpec, parse_fault_spec
+
+
+class TestParsing:
+    def test_parse_crash(self):
+        spec = parse_fault_spec("crash:rank=1,job=2,when=after")
+        assert spec.kind == "crash"
+        assert (spec.rank, spec.job, spec.when) == (1, 2, "after")
+        assert spec.times == 1
+
+    def test_parse_drop_with_aliases(self):
+        spec = parse_fault_spec("drop:src=0,dst=3,p=0.5,times=2")
+        assert spec.kind == "drop"
+        assert (spec.src, spec.dst) == (0, 3)
+        assert spec.probability == 0.5
+        assert spec.times == 2
+
+    def test_parse_delay_seconds(self):
+        spec = parse_fault_spec("delay:seconds=0.25,p=0.1")
+        assert spec.delay_s == 0.25
+        assert spec.probability == 0.1
+
+    def test_parse_straggler(self):
+        spec = parse_fault_spec("straggler:rank=3,factor=4")
+        assert spec.kind == "straggler"
+        assert spec.factor == 4.0
+
+    def test_parse_bare_kind(self):
+        assert parse_fault_spec("duplicate").kind == "duplicate"
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "explode:rank=1",
+            "drop:notafield=3",
+            "drop:src",
+            "crash:when=sometimes",
+            "drop:p=1.5",
+            "drop:times=-1",
+        ],
+    )
+    def test_parse_rejects_invalid(self, bad):
+        with pytest.raises(FaultToleranceError):
+            parse_fault_spec(bad)
+
+    def test_coerce_accepts_many_shapes(self):
+        one = FaultSpec(kind="drop")
+        assert FaultSchedule.coerce(None) is None
+        assert FaultSchedule.coerce("drop:src=0").specs[0].src == 0
+        assert FaultSchedule.coerce(one).specs == (one,)
+        sched = FaultSchedule.coerce([one, "crash:rank=0"])
+        assert [s.kind for s in sched] == ["drop", "crash"]
+        assert FaultSchedule.coerce(sched) is sched
+
+    def test_matches_link_filters(self):
+        spec = parse_fault_spec("drop:src=1")
+        assert spec.matches_link(1, 0) and spec.matches_link(1, 3)
+        assert not spec.matches_link(0, 1)
+        assert not parse_fault_spec("crash:rank=1").matches_link(1, 0)
+
+
+class TestRandomSchedules:
+    def test_same_seed_same_schedule(self):
+        a = FaultSchedule.random(seed=7, size=4, num_jobs=2)
+        b = FaultSchedule.random(seed=7, size=4, num_jobs=2)
+        assert a == b
+
+    def test_different_seeds_differ_somewhere(self):
+        schedules = {FaultSchedule.random(seed=s, size=8, num_jobs=3) for s in range(30)}
+        assert len(schedules) > 1
+
+    def test_all_faults_are_survivable(self):
+        """Every generated fault has a finite firing cap and valid targets."""
+        for seed in range(50):
+            for spec in FaultSchedule.random(seed=seed, size=4, num_jobs=2):
+                assert spec.times >= 1, "chaos schedules must not inject forever"
+                if spec.kind == "crash":
+                    assert 0 <= spec.rank < 4
+                    assert 0 <= spec.job < 2
+                if spec.kind == "straggler":
+                    assert spec.factor > 1.0
