@@ -1,0 +1,67 @@
+"""Static analysis of PaPar configurations (``papar lint``).
+
+A rule-based analyzer that checks a workflow configuration + input-data
+configuration(s) + (optionally) an intended rank count *without executing
+anything*, and a diagnostic engine that reports every finding with a stable
+code (``PAP001``...), a severity, an XML source location, a message, and a
+suggested fix.  See ``docs/lint-rules.md`` for the rule catalog.
+
+Three front doors:
+
+* CLI — ``python -m repro lint workflow.xml [--input input.xml] ...``;
+* API — :meth:`repro.PaPar.lint` returning structured diagnostics;
+* pipeline hook — ``plan`` / ``run`` refuse configurations with lint
+  errors unless ``--no-lint`` is passed.
+
+This module lazily re-exports its public names (PEP 562) because the
+configuration parsers import :mod:`repro.analysis.locate` — eager imports
+here would create a cycle with :mod:`repro.config`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+_LAZY = {
+    "Diagnostic": ("repro.analysis.diagnostics", "Diagnostic"),
+    "LintResult": ("repro.analysis.diagnostics", "LintResult"),
+    "Severity": ("repro.analysis.diagnostics", "Severity"),
+    "Linter": ("repro.analysis.engine", "Linter"),
+    "lint_workflow": ("repro.analysis.engine", "lint_workflow"),
+    "lint_files": ("repro.analysis.engine", "lint_files"),
+    "synthesize_arguments": ("repro.analysis.engine", "synthesize_arguments"),
+    "CATALOG": ("repro.analysis.rules", "CATALOG"),
+    "RuleSpec": ("repro.analysis.rules", "RuleSpec"),
+    "all_codes": ("repro.analysis.rules", "all_codes"),
+    "LocatingXMLParser": ("repro.analysis.locate", "LocatingXMLParser"),
+    "parse_located": ("repro.analysis.locate", "parse_located"),
+}
+
+__all__ = sorted(_LAZY)
+
+if TYPE_CHECKING:  # pragma: no cover - static typing only
+    from repro.analysis.diagnostics import Diagnostic, LintResult, Severity
+    from repro.analysis.engine import (
+        Linter,
+        lint_files,
+        lint_workflow,
+        synthesize_arguments,
+    )
+    from repro.analysis.locate import LocatingXMLParser, parse_located
+    from repro.analysis.rules import CATALOG, RuleSpec, all_codes
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), attr)
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_LAZY))

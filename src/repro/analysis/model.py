@@ -1,0 +1,465 @@
+"""Lenient workflow model for the static analyzer.
+
+The strict parser (:func:`repro.config.workflow.parse_workflow_config`)
+stops at the first problem — correct for a runtime front door, useless for
+a linter that must report *every* finding in one pass.  This module builds
+a tolerant model straight from the located element tree: structural
+problems (missing attributes, duplicate ids) become diagnostics instead of
+exceptions, and analysis continues with whatever could be salvaged.
+
+The model reuses :class:`~repro.config.workflow.ParamSpec` and
+:class:`~repro.config.workflow.AddOnSpec` (which carry source lines), but
+keeps parameters as *lists* so duplicates remain observable.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.locate import LocatedTree
+from repro.config.workflow import _REF_RE, AddOnSpec, ParamSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.config.workflow import WorkflowSpec
+    from repro.core.planner import WorkflowPlan
+    from repro.formats.records import RecordSchema
+
+#: operator types the planner understands natively
+KNOWN_OPERATORS = ("sort", "group", "split", "distribute")
+
+
+@dataclass
+class LintOperator:
+    """One ``<operator>`` stage, tolerantly parsed."""
+
+    id: str
+    operator: str
+    attrs: dict[str, str] = field(default_factory=dict)
+    params: list[ParamSpec] = field(default_factory=list)
+    addons: list[AddOnSpec] = field(default_factory=list)
+    line: Optional[int] = None
+
+    @property
+    def kind(self) -> str:
+        return self.operator.strip().lower()
+
+    def param(self, *names: str) -> Optional[ParamSpec]:
+        """First parameter matching any of ``names`` (in name priority order)."""
+        for name in names:
+            for p in self.params:
+                if p.name == name:
+                    return p
+        return None
+
+    def param_value(self, *names: str) -> Optional[str]:
+        p = self.param(*names)
+        return p.value if p is not None else None
+
+
+@dataclass
+class LintWorkflow:
+    """A tolerantly parsed ``<workflow>`` document."""
+
+    id: str
+    name: str
+    arguments: list[ParamSpec] = field(default_factory=list)
+    operators: list[LintOperator] = field(default_factory=list)
+    line: Optional[int] = None
+
+    def argument(self, name: str) -> Optional[ParamSpec]:
+        for a in self.arguments:
+            if a.name == name:
+                return a
+        return None
+
+    def operator_ids(self) -> list[str]:
+        return [op.id for op in self.operators]
+
+    def operator_index(self, op_id: str) -> Optional[int]:
+        for i, op in enumerate(self.operators):
+            if op.id == op_id:
+                return i
+        return None
+
+
+@dataclass(frozen=True)
+class Reference:
+    """One ``$ref`` occurrence inside a parameter or operator attribute."""
+
+    #: the reference text without the leading ``$`` (dots kept, inner $ dropped)
+    ref: str
+    #: operator the reference occurs in (None for argument defaults)
+    op: Optional[LintOperator]
+    #: name of the parameter or attribute holding the reference
+    slot: str
+    line: Optional[int]
+
+    @property
+    def parts(self) -> list[str]:
+        return self.ref.replace("$", "").split(".")
+
+    @property
+    def head(self) -> str:
+        return self.parts[0]
+
+
+def build_workflow_model(
+    tree: LocatedTree, filename: Optional[str]
+) -> tuple[Optional[LintWorkflow], list[Diagnostic]]:
+    """Build a :class:`LintWorkflow` from a located tree, collecting
+    structural diagnostics instead of raising."""
+    diags: list[Diagnostic] = []
+    root = tree.root
+
+    def diag(
+        code: str,
+        severity: Severity,
+        message: str,
+        node: Optional[ET.Element],
+        rule: str,
+        suggestion: Optional[str] = None,
+    ) -> None:
+        diags.append(
+            Diagnostic(
+                code=code,
+                severity=severity,
+                message=message,
+                file=filename,
+                line=tree.line(node),
+                column=tree.column(node),
+                rule=rule,
+                suggestion=suggestion,
+            )
+        )
+
+    if root.tag != "workflow":
+        diag(
+            "PAP001",
+            Severity.ERROR,
+            f"expected <workflow> root element, found <{root.tag}>",
+            root,
+            "xml-syntax",
+            "rename the root element to <workflow>",
+        )
+        return None, diags
+
+    wf_id = root.get("id")
+    if not wf_id:
+        diag(
+            "PAP002",
+            Severity.ERROR,
+            "<workflow> requires an 'id' attribute",
+            root,
+            "missing-attribute",
+            'add id="..." to the <workflow> element',
+        )
+        wf_id = "<anonymous>"
+    model = LintWorkflow(
+        id=wf_id, name=root.get("name", wf_id), line=tree.line(root)
+    )
+
+    args_node = root.find("arguments")
+    if args_node is not None:
+        seen_args: set[str] = set()
+        for p in args_node.findall("param"):
+            name = p.get("name")
+            if not name:
+                diag(
+                    "PAP002",
+                    Severity.ERROR,
+                    "<param> requires a 'name' attribute",
+                    p,
+                    "missing-attribute",
+                )
+                continue
+            if name in seen_args:
+                diag(
+                    "PAP003",
+                    Severity.ERROR,
+                    f"duplicate workflow argument {name!r}",
+                    p,
+                    "duplicate-id",
+                    "remove or rename the duplicate declaration",
+                )
+            seen_args.add(name)
+            model.arguments.append(
+                ParamSpec(
+                    name=name,
+                    type=p.get("type", "String"),
+                    value=p.get("value"),
+                    format=p.get("format"),
+                    line=tree.line(p),
+                )
+            )
+
+    ops_node = root.find("operators")
+    if ops_node is None or not list(ops_node):
+        diag(
+            "PAP002",
+            Severity.ERROR,
+            f"workflow {wf_id!r} declares no operators",
+            root if ops_node is None else ops_node,
+            "missing-attribute",
+            "add an <operators> section with at least one <operator>",
+        )
+        return model, diags
+
+    seen_ids: set[str] = set()
+    for i, op_node in enumerate(ops_node.findall("operator")):
+        op_id = op_node.get("id")
+        op_name = op_node.get("operator")
+        if not op_id or not op_name:
+            diag(
+                "PAP002",
+                Severity.ERROR,
+                "<operator> requires 'id' and 'operator' attributes",
+                op_node,
+                "missing-attribute",
+            )
+        op_id = op_id or f"<operator-{i}>"
+        if op_id in seen_ids:
+            diag(
+                "PAP003",
+                Severity.ERROR,
+                f"duplicate operator id {op_id!r}",
+                op_node,
+                "duplicate-id",
+                "give every operator a unique id",
+            )
+        seen_ids.add(op_id)
+        op = LintOperator(
+            id=op_id,
+            operator=op_name or "",
+            attrs={
+                k: v for k, v in op_node.attrib.items() if k not in ("id", "operator")
+            },
+            line=tree.line(op_node),
+        )
+        seen_params: set[str] = set()
+        for p in op_node.findall("param"):
+            pname = p.get("name")
+            if not pname:
+                diag(
+                    "PAP002",
+                    Severity.ERROR,
+                    f"<param> in operator {op_id!r} requires a 'name' attribute",
+                    p,
+                    "missing-attribute",
+                )
+                continue
+            if pname in seen_params:
+                diag(
+                    "PAP003",
+                    Severity.ERROR,
+                    f"operator {op_id!r} declares parameter {pname!r} twice",
+                    p,
+                    "duplicate-id",
+                    "remove the duplicate <param>; the runtime keeps only one",
+                )
+            seen_params.add(pname)
+            op.params.append(
+                ParamSpec(
+                    name=pname,
+                    type=p.get("type", "String"),
+                    value=p.get("value"),
+                    format=p.get("format"),
+                    line=tree.line(p),
+                )
+            )
+        for a in op_node.findall("addon"):
+            if not a.get("operator"):
+                diag(
+                    "PAP002",
+                    Severity.ERROR,
+                    f"<addon> in operator {op_id!r} requires an 'operator' attribute",
+                    a,
+                    "missing-attribute",
+                )
+                continue
+            op.addons.append(
+                AddOnSpec(
+                    operator=a.get("operator", ""),
+                    key=a.get("key"),
+                    attr=a.get("attr"),
+                    value=a.get("value"),
+                    line=tree.line(a),
+                )
+            )
+        model.operators.append(op)
+    return model, diags
+
+
+@dataclass
+class LintContext:
+    """Everything one analysis pass knows; handed to every checker."""
+
+    filename: Optional[str]
+    model: Optional[LintWorkflow]
+    #: input-data schemas by id (registered on the framework or --input files)
+    schemas: dict[str, "RecordSchema"] = field(default_factory=dict)
+    #: schema id -> originating file (for diagnostics about input configs)
+    input_files: dict[str, str] = field(default_factory=dict)
+    #: user-supplied workflow arguments (CLI --arg / API args)
+    args: dict[str, str] = field(default_factory=dict)
+    #: the strict parse, when it succeeded
+    spec: Optional["WorkflowSpec"] = None
+    #: the resolved plan, when planning succeeded
+    plan: Optional["WorkflowPlan"] = None
+    #: planner failure message, when planning was attempted and failed
+    plan_error: Optional[str] = None
+    #: simulated cluster size the user intends to run with (optional)
+    ranks: Optional[int] = None
+
+    def diag(
+        self,
+        code: str,
+        message: str,
+        line: Optional[int] = None,
+        column: Optional[int] = None,
+        suggestion: Optional[str] = None,
+        file: Optional[str] = None,
+    ) -> Diagnostic:
+        """Build a diagnostic, pulling severity and rule name from the catalog."""
+        from repro.analysis.rules import CATALOG
+
+        spec = CATALOG[code]
+        return Diagnostic(
+            code=code,
+            severity=spec.severity,
+            message=message,
+            file=file if file is not None else self.filename,
+            line=line,
+            column=column,
+            rule=spec.name,
+            suggestion=suggestion,
+        )
+
+    def input_schema(self) -> tuple[Optional["RecordSchema"], Optional[ParamSpec]]:
+        """The input-data schema the workflow reads, via the planner's
+        convention: the last ``input*`` argument with a ``format``."""
+        if self.model is None:
+            return None, None
+        found: tuple[Optional["RecordSchema"], Optional[ParamSpec]] = (None, None)
+        for arg in self.model.arguments:
+            if arg.format and arg.name.lower().startswith("input"):
+                found = (self.schemas.get(arg.format), arg)
+        return found
+
+
+class SymbolicEnv:
+    """Best-effort ``$ref`` substitution without executing anything.
+
+    Arguments resolve to user-supplied values or config defaults; operator
+    outputs resolve to their (possibly already substituted) path strings.
+    Unknown references stay as literal ``$ref`` text so downstream rules can
+    still compare values symbolically.
+    """
+
+    def __init__(self) -> None:
+        self.values: dict[str, str] = {}
+
+    def bind(self, name: str, value: str) -> None:
+        self.values[name.replace("$", "")] = value
+
+    def resolve(self, text: Optional[str]) -> tuple[Optional[str], bool]:
+        """Substitute known refs; returns (text, fully_resolved)."""
+        if text is None:
+            return None, True
+        complete = True
+
+        def sub(m) -> str:
+            nonlocal complete
+            key = m.group(1).replace("$", "")
+            if key in self.values:
+                return str(self.values[key])
+            complete = False
+            return m.group(0)
+
+        return _REF_RE.sub(sub, text), complete
+
+
+@dataclass
+class OpIO:
+    """Resolved (as far as statically possible) I/O of one operator."""
+
+    op: LintOperator
+    #: resolved output path(s); split operators have one per condition
+    outputs: list[str] = field(default_factory=list)
+    outputs_resolved: bool = True
+    input: Optional[str] = None
+    input_resolved: bool = True
+    output_line: Optional[int] = None
+    input_line: Optional[int] = None
+
+
+def resolve_dataflow(ctx: LintContext) -> tuple[list[OpIO], SymbolicEnv]:
+    """Walk the operator chain, building the symbolic environment and each
+    operator's resolved input/output paths — mirroring the planner without
+    requiring the configuration to be valid."""
+    env = SymbolicEnv()
+    model = ctx.model
+    assert model is not None
+    for arg in model.arguments:
+        if arg.name in ctx.args:
+            env.bind(arg.name, str(ctx.args[arg.name]))
+        elif arg.value is not None:
+            env.bind(arg.name, env.resolve(arg.value)[0] or "")
+
+    flows: list[OpIO] = []
+    for op in model.operators:
+        io = OpIO(op=op)
+        in_param = op.param("inputPath", "input", "inputPathList")
+        if in_param is not None:
+            io.input, io.input_resolved = env.resolve(in_param.value)
+            io.input_line = in_param.line
+        if op.kind == "split":
+            out_param = op.param("outputPathList")
+            if out_param is not None and out_param.value:
+                resolved, ok = env.resolve(out_param.value)
+                io.outputs = [p.strip() for p in (resolved or "").split(",") if p.strip()]
+                io.outputs_resolved = ok
+                io.output_line = out_param.line
+        else:
+            out_param = op.param("outputPath", "ouputPath")
+            if out_param is not None and out_param.value is not None:
+                resolved, ok = env.resolve(out_param.value)
+                io.outputs = [resolved or ""]
+                io.outputs_resolved = ok
+                io.output_line = out_param.line
+            else:
+                # the planner's default output path
+                io.outputs = [f"/tmp/{op.id}"]
+        if io.outputs:
+            env.bind(f"{op.id}.outputPath", io.outputs[0])
+            if len(io.outputs) > 1:
+                env.bind(f"{op.id}.outputPathList", ",".join(io.outputs))
+        for addon in op.addons:
+            attr = addon.attr or addon.operator
+            if attr:
+                env.bind(f"{op.id}.{attr}", attr)
+        flows.append(io)
+    return flows, env
+
+
+def iter_references(model: LintWorkflow) -> Iterator[Reference]:
+    """Every ``$ref`` occurrence in the workflow, with its source slot."""
+    for arg in model.arguments:
+        if arg.value:
+            for m in _REF_RE.finditer(arg.value):
+                yield Reference(m.group(1), None, arg.name, arg.line)
+    for op in model.operators:
+        for p in op.params:
+            if p.value:
+                for m in _REF_RE.finditer(p.value):
+                    yield Reference(m.group(1), op, p.name, p.line)
+        for attr_name, attr_value in op.attrs.items():
+            for m in _REF_RE.finditer(attr_value):
+                yield Reference(m.group(1), op, attr_name, op.line)
+        for addon in op.addons:
+            for text in (addon.key, addon.value):
+                if text:
+                    for m in _REF_RE.finditer(text):
+                        yield Reference(m.group(1), op, "addon", addon.line)

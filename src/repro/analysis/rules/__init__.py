@@ -1,0 +1,141 @@
+"""Rule registry and catalog for ``papar lint``.
+
+Every diagnostic the analyzer can emit has a stable entry here: a ``PAPnnn``
+code, a short kebab-case rule name, a default severity, and a one-line
+summary.  ``docs/lint-rules.md`` is generated from the same vocabulary and
+the golden-diagnostics test suite pins each code's behavior.
+
+Checkers are plain generator functions taking a
+:class:`~repro.analysis.model.LintContext` and yielding
+:class:`~repro.analysis.diagnostics.Diagnostic` objects; they are collected
+by the :func:`checker` decorator and run (all of them, in registration
+order) by the engine.  One checker may emit several related codes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.analysis.diagnostics import Severity
+
+
+@dataclass(frozen=True)
+class RuleSpec:
+    """Catalog entry of one diagnostic code."""
+
+    code: str
+    name: str
+    severity: Severity
+    summary: str
+
+
+def _spec(code: str, name: str, severity: Severity, summary: str) -> RuleSpec:
+    return RuleSpec(code=code, name=name, severity=severity, summary=summary)
+
+
+#: every code the analyzer can emit, in catalog order
+CATALOG: dict[str, RuleSpec] = {
+    s.code: s
+    for s in (
+        # -- structure / syntax (PAP00x) ------------------------------------
+        _spec("PAP001", "xml-syntax", Severity.ERROR,
+              "the file is not well-formed XML or has the wrong root element"),
+        _spec("PAP002", "missing-attribute", Severity.ERROR,
+              "a required attribute or section is missing"),
+        _spec("PAP003", "duplicate-id", Severity.ERROR,
+              "an operator id, argument, or parameter is declared twice"),
+        _spec("PAP004", "unknown-operator", Severity.ERROR,
+              "an operator type the planner does not know"),
+        _spec("PAP005", "unknown-addon", Severity.ERROR,
+              "an add-on operator name that is not registered"),
+        _spec("PAP006", "addon-ignored", Severity.WARNING,
+              "an add-on attached to an operator that does not support add-ons"),
+        # -- $variable reference graph (PAP01x) ------------------------------
+        _spec("PAP010", "undefined-reference", Severity.ERROR,
+              "a $reference that no argument or earlier operator defines"),
+        _spec("PAP011", "forward-reference", Severity.ERROR,
+              "a reference to an operator that has not run yet"),
+        _spec("PAP012", "reference-cycle", Severity.ERROR,
+              "operators whose references form a cycle"),
+        _spec("PAP013", "unused-argument", Severity.WARNING,
+              "a declared workflow argument that nothing references"),
+        _spec("PAP014", "unknown-output-attribute", Severity.ERROR,
+              "a $opid.attr reference to an attribute the operator never produces"),
+        # -- record-schema type flow (PAP02x) --------------------------------
+        _spec("PAP020", "key-not-in-schema", Severity.ERROR,
+              "a sort/group/split key that names no field available at that stage"),
+        _spec("PAP021", "float-group-key", Severity.WARNING,
+              "grouping/hashing on a floating-point field is fragile"),
+        _spec("PAP022", "split-threshold-type", Severity.ERROR,
+              "a split threshold that is not comparable with the key type"),
+        _spec("PAP023", "split-coverage-gap", Severity.WARNING,
+              "split conditions that leave some key values unrouted"),
+        _spec("PAP024", "addon-field-missing", Severity.ERROR,
+              "an add-on that aggregates a value field the schema does not have"),
+        _spec("PAP025", "boolean-literal", Severity.WARNING,
+              "a boolean parameter whose literal is not a recognized true/false"),
+        # -- path wiring (PAP03x) -------------------------------------------
+        _spec("PAP030", "dead-output", Severity.WARNING,
+              "an operator output that no later job consumes"),
+        _spec("PAP031", "output-collision", Severity.ERROR,
+              "two jobs writing the same output path"),
+        _spec("PAP032", "orphan-directory-input", Severity.ERROR,
+              "a directory input with zero producing jobs"),
+        _spec("PAP033", "split-arity", Severity.ERROR,
+              "split condition count and outputPathList length disagree"),
+        _spec("PAP034", "split-policy-syntax", Severity.ERROR,
+              "a split policy string that does not parse"),
+        _spec("PAP035", "unknown-distribution-policy", Severity.ERROR,
+              "a distribution policy name that is not registered"),
+        _spec("PAP036", "bad-partition-count", Severity.ERROR,
+              "numPartitions / num_reducers literal that is not a positive integer"),
+        # -- resolved-plan checks (PAP04x) ----------------------------------
+        _spec("PAP040", "plan-failure", Severity.ERROR,
+              "the planner rejects the workflow for a reason no other rule caught"),
+        _spec("PAP041", "invalid-permutation", Severity.ERROR,
+              "a distribution policy that does not produce a valid permutation"),
+        _spec("PAP042", "reducer-mismatch", Severity.WARNING,
+              "collective schedules (num_reducers) inconsistent across jobs"),
+        _spec("PAP043", "sort-tie-partitioning", Severity.INFO,
+              "equal sort keys are partitioned by input order downstream"),
+        _spec("PAP044", "ranks-exceed-partitions", Severity.WARNING,
+              "more ranks than partitions leaves ranks idle"),
+        # -- input-data configurations (PAP05x) ------------------------------
+        _spec("PAP050", "input-config-invalid", Severity.ERROR,
+              "an input-data configuration fails to parse or validate"),
+        _spec("PAP051", "input-config-unused", Severity.WARNING,
+              "an input-data configuration no workflow argument references"),
+        # -- analyzer self-diagnosis ----------------------------------------
+        _spec("PAP099", "internal-error", Severity.ERROR,
+              "a lint rule crashed; please report the configuration"),
+    )
+}
+
+#: registered checker functions, in registration order
+CHECKERS: list[Callable] = []
+
+
+def checker(func: Callable) -> Callable:
+    """Register a checker (a generator of diagnostics over a LintContext)."""
+    CHECKERS.append(func)
+    return func
+
+
+def all_codes() -> list[str]:
+    """Every catalogued code, sorted."""
+    return sorted(CATALOG)
+
+
+def _load() -> None:
+    """Import the rule modules so their checkers register."""
+    from repro.analysis.rules import paths, plan, references, schema_flow  # noqa: F401
+
+
+_load()
+
+__all__ = ["CATALOG", "CHECKERS", "RuleSpec", "all_codes", "checker"]
+
+
+def iter_checkers() -> Iterable[Callable]:
+    return tuple(CHECKERS)

@@ -1,0 +1,202 @@
+"""Path wiring between jobs (PAP030-PAP036, PAP034/035 policy syntax).
+
+Operators communicate through paths: a job's ``inputPath`` either names an
+earlier job's output (directly or as a directory prefix) or the workflow
+input.  These rules re-derive that wiring symbolically — without binding
+real arguments — and flag outputs nobody reads, paths written twice,
+directory reads with zero producers, and malformed policy strings.
+"""
+
+from __future__ import annotations
+
+from difflib import get_close_matches
+from typing import Iterator
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.model import LintContext, resolve_dataflow
+from repro.analysis.rules import checker
+from repro.config.workflow import _REF_RE
+
+
+def _is_symbolic(text: str) -> bool:
+    return bool(_REF_RE.search(text))
+
+
+@checker
+def check_path_wiring(ctx: LintContext) -> Iterator[Diagnostic]:
+    """PAP030 dead outputs, PAP031 collisions, PAP032 orphan dir inputs."""
+    if ctx.model is None or not ctx.model.operators:
+        return
+    flows, _env = resolve_dataflow(ctx)
+
+    # -- collisions: two jobs writing the same (resolved) path ------------
+    writers: dict[str, list[int]] = {}
+    for i, io in enumerate(flows):
+        for path in io.outputs:
+            if path:
+                writers.setdefault(path, []).append(i)
+    for path, idxs in writers.items():
+        if _is_symbolic(path):
+            continue
+        if len(idxs) > 1:
+            first = flows[idxs[0]].op
+            for i in idxs[1:]:
+                io = flows[i]
+                yield ctx.diag(
+                    "PAP031",
+                    f"operator {io.op.id!r} writes {path!r}, which operator "
+                    f"{first.id!r} also writes; the second run clobbers the first",
+                    line=io.output_line or io.op.line,
+                    suggestion="give every operator a distinct output path",
+                )
+
+    # -- consumption map ---------------------------------------------------
+    consumed: set[tuple[int, int]] = set()  # (producer index, output index)
+    for i, io in enumerate(flows):
+        if io.input is None:
+            continue
+        path = io.input
+        matched = False
+        for j in range(i):
+            for k, out in enumerate(flows[j].outputs):
+                if not out:
+                    continue
+                if out == path or out.startswith(path.rstrip("/") + "/"):
+                    # exact or directory-prefix consumption (hybrid-cut)
+                    consumed.add((j, k))
+                    matched = True
+        if (
+            not matched
+            and i > 0
+            and path.endswith("/")
+            and not _is_symbolic(path)
+        ):
+            yield ctx.diag(
+                "PAP032",
+                f"operator {io.op.id!r} reads directory {path!r}, but no "
+                "earlier operator writes anything under it",
+                line=io.input_line or io.op.line,
+                suggestion="point inputPath at an earlier operator's output "
+                "(e.g. $previous.outputPath)",
+            )
+
+    # -- dead outputs ------------------------------------------------------
+    last = len(flows) - 1
+    for j, io in enumerate(flows):
+        if j == last:
+            continue  # the final job's output is the workflow product
+        for k, out in enumerate(io.outputs):
+            if out and (j, k) not in consumed:
+                yield ctx.diag(
+                    "PAP030",
+                    f"output {out!r} of operator {io.op.id!r} is never "
+                    "consumed by a later operator",
+                    line=io.output_line or io.op.line,
+                    suggestion="wire a later operator's inputPath to "
+                    f"${io.op.id}.outputPath, or drop the operator",
+                )
+
+
+@checker
+def check_split_shape(ctx: LintContext) -> Iterator[Diagnostic]:
+    """PAP033 arity and PAP034 policy syntax for split operators."""
+    if ctx.model is None:
+        return
+    from repro.policies.split_policy import SplitPolicy
+
+    flows, env = resolve_dataflow(ctx)
+    for io in flows:
+        op = io.op
+        if op.kind != "split":
+            continue
+        policy_param = op.param("policy", "splitPolicy")
+        paths_param = op.param("outputPathList")
+        policy = None
+        if policy_param is not None and policy_param.value is not None:
+            resolved, complete = env.resolve(policy_param.value)
+            probe = resolved if complete else _REF_RE.sub("0", policy_param.value)
+            try:
+                policy = SplitPolicy.parse(probe or "")
+            except Exception as exc:
+                yield ctx.diag(
+                    "PAP034",
+                    f"operator {op.id!r}: split policy "
+                    f"{policy_param.value!r} does not parse: {exc}",
+                    line=policy_param.line or op.line,
+                    suggestion="use the grammar {op, operand},{op, operand},... "
+                    "with op in >=, <=, >, <, ==, !=",
+                )
+        if (
+            policy is not None
+            and paths_param is not None
+            and paths_param.value is not None
+            and io.outputs_resolved
+        ):
+            n_paths = len(io.outputs)
+            if n_paths != policy.num_outputs:
+                yield ctx.diag(
+                    "PAP033",
+                    f"operator {op.id!r} declares {policy.num_outputs} split "
+                    f"condition(s) but {n_paths} output path(s)",
+                    line=paths_param.line or op.line,
+                    suggestion="declare exactly one output path per condition",
+                )
+
+
+@checker
+def check_partition_counts(ctx: LintContext) -> Iterator[Diagnostic]:
+    """PAP035 unknown distribution policy, PAP036 bad literal counts."""
+    if ctx.model is None:
+        return
+    from repro.policies.distr import _POLICIES
+
+    flows, env = resolve_dataflow(ctx)
+    for io in flows:
+        op = io.op
+        if op.kind == "distribute":
+            policy_param = op.param("distrPolicy", "policy")
+            if policy_param is not None and policy_param.value is not None:
+                resolved, complete = env.resolve(policy_param.value)
+                if complete and resolved and resolved.strip().lower() not in _POLICIES:
+                    close = get_close_matches(
+                        resolved.strip().lower(), sorted(_POLICIES), n=1
+                    )
+                    yield ctx.diag(
+                        "PAP035",
+                        f"operator {op.id!r} uses unknown distribution policy "
+                        f"{resolved!r}; registered: {sorted(_POLICIES)}",
+                        line=policy_param.line or op.line,
+                        suggestion=f"did you mean {close[0]!r}?" if close else None,
+                    )
+            nparts = op.param("numPartitions", "num_partitions")
+            if nparts is not None and nparts.value is not None:
+                resolved, complete = env.resolve(nparts.value)
+                if complete and resolved is not None:
+                    yield from _check_positive_int(
+                        ctx, op, "numPartitions", resolved, nparts.line
+                    )
+        reducers = op.attrs.get("num_reducers")
+        if reducers is not None:
+            resolved, complete = env.resolve(reducers)
+            if complete and resolved is not None:
+                yield from _check_positive_int(
+                    ctx, op, "num_reducers", resolved, op.line
+                )
+
+
+def _check_positive_int(ctx, op, what, text, line) -> Iterator[Diagnostic]:
+    try:
+        value = int(str(text).strip())
+    except (TypeError, ValueError):
+        yield ctx.diag(
+            "PAP036",
+            f"operator {op.id!r}: {what} is {text!r}, not an integer",
+            line=line or op.line,
+        )
+        return
+    if value < 1:
+        yield ctx.diag(
+            "PAP036",
+            f"operator {op.id!r}: {what} is {value}, but must be >= 1",
+            line=line or op.line,
+        )

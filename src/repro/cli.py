@@ -3,9 +3,13 @@
 The paper's runtime reads workflow arguments "from the configuration file at
 runtime" with overrides from the command line; this CLI is that front end:
 
+* ``lint``     — statically analyze the configs and report every finding;
 * ``plan``     — parse the configs, resolve arguments, print the job table;
 * ``codegen``  — emit the generated partitioner source;
 * ``run``      — partition an input file into ``part-NNNNN`` output files.
+
+``plan`` and ``run`` lint first and refuse configurations with errors
+(override with ``--no-lint``).
 
 Example::
 
@@ -54,6 +58,28 @@ def build_parser() -> argparse.ArgumentParser:
                        help="workflow configuration XML")
         p.add_argument("--arg", action="append", default=[], metavar="NAME=VALUE",
                        help="workflow argument (repeatable)")
+        p.add_argument("--no-lint", action="store_true",
+                       help="skip the static analysis gate")
+
+    p_lint = sub.add_parser(
+        "lint", help="statically analyze configurations without running them"
+    )
+    p_lint.add_argument("workflow", metavar="WORKFLOW_XML",
+                        help="workflow configuration file")
+    p_lint.add_argument("--input", "--input-config", action="append", default=[],
+                        dest="input", metavar="FILE",
+                        help="input-data configuration XML (repeatable)")
+    p_lint.add_argument("--arg", action="append", default=[], metavar="NAME=VALUE",
+                        help="workflow argument (repeatable); improves "
+                             "$reference resolution")
+    p_lint.add_argument("--format", choices=("text", "json"), default="text",
+                        help="report format (default: text)")
+    p_lint.add_argument("--strict", action="store_true",
+                        help="treat warnings as errors (non-zero exit)")
+    p_lint.add_argument("--ranks", type=int, default=None, metavar="N",
+                        help="intended rank count (enables cluster-fit rules)")
+    p_lint.add_argument("--no-plan", action="store_true",
+                        help="skip the resolved-plan rule family (PAP04x)")
 
     p_plan = sub.add_parser("plan", help="print the planned job sequence")
     common(p_plan)
@@ -99,8 +125,53 @@ def _load(ns: argparse.Namespace) -> tuple[PaPar, object, dict]:
     return papar, workflow, _parse_arg_pairs(ns.arg)
 
 
+def cmd_lint(ns: argparse.Namespace) -> int:
+    from repro.analysis.engine import Linter
+
+    result = Linter(ranks=ns.ranks).lint_paths(
+        ns.workflow,
+        ns.input,
+        args=_parse_arg_pairs(ns.arg),
+        do_plan=not ns.no_plan,
+    )
+    if ns.format == "json":
+        print(result.render_json())
+    else:
+        print(result.render_text())
+    return result.exit_code(strict=ns.strict)
+
+
+def _lint_gate(ns: argparse.Namespace, papar: PaPar) -> Optional[int]:
+    """Refuse to proceed when the configuration has lint errors.
+
+    Returns an exit code to bail with, or None to continue.  Warnings and
+    infos never block; ``--no-lint`` skips the gate entirely.
+    """
+    if ns.no_lint:
+        return None
+    result = papar.lint_files(
+        ns.workflow,
+        ns.input_config,
+        args=_parse_arg_pairs(ns.arg),
+        ranks=getattr(ns, "ranks", None),
+    )
+    if result.errors:
+        for diag in result.errors:
+            print(diag.render(), file=sys.stderr)
+        print(
+            f"lint: {len(result.errors)} error(s) in the configuration; "
+            "fix them or pass --no-lint to proceed anyway",
+            file=sys.stderr,
+        )
+        return 2
+    return None
+
+
 def cmd_plan(ns: argparse.Namespace) -> int:
     papar, workflow, args = _load(ns)
+    gate = _lint_gate(ns, papar)
+    if gate is not None:
+        return gate
     plan = papar.plan(workflow, args)
     print(f"workflow {plan.workflow_id!r}: {len(plan.jobs)} job(s)")
     for i, job in enumerate(plan.jobs):
@@ -174,6 +245,9 @@ def print_fault_report(result) -> None:
 
 def cmd_run(ns: argparse.Namespace) -> int:
     papar, workflow, args = _load(ns)
+    gate = _lint_gate(ns, papar)
+    if gate is not None:
+        return gate
     fault_tolerance: dict = {"chaos_seed": ns.chaos_seed}
     if ns.faults:
         fault_tolerance["faults"] = ns.faults
@@ -199,7 +273,12 @@ def cmd_run(ns: argparse.Namespace) -> int:
     return 0
 
 
-_COMMANDS = {"plan": cmd_plan, "codegen": cmd_codegen, "run": cmd_run}
+_COMMANDS = {
+    "lint": cmd_lint,
+    "plan": cmd_plan,
+    "codegen": cmd_codegen,
+    "run": cmd_run,
+}
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

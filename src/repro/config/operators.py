@@ -25,7 +25,7 @@ import importlib
 import os
 import xml.etree.ElementTree as ET
 from dataclasses import dataclass, field
-from typing import Any, Optional, Union
+from typing import Optional, Union
 
 from repro.errors import ConfigError, OperatorError
 

@@ -24,8 +24,14 @@ from __future__ import annotations
 
 import os
 import xml.etree.ElementTree as ET
-from typing import Union
+from typing import Optional, Union
 
+from repro.analysis.locate import (
+    LocatedTree,
+    XMLLocationError,
+    format_location,
+    parse_located,
+)
 from repro.errors import ConfigError, SchemaError
 from repro.formats.records import Field, RecordSchema
 
@@ -55,8 +61,18 @@ def _normalize_type(raw: str) -> str:
     return t
 
 
-def _walk_element(elem: ET.Element, prefix: str) -> tuple[list[Field], list[str]]:
+def _walk_element(
+    elem: ET.Element,
+    prefix: str,
+    tree: Optional[LocatedTree] = None,
+    filename: Optional[str] = None,
+) -> tuple[list[Field], list[str]]:
     """Flatten ``<value>``/``<delimiter>``/nested ``<element>`` children."""
+
+    def where(node: ET.Element) -> str:
+        line = tree.line(node) if tree is not None else None
+        return format_location(filename, line)
+
     fields: list[Field] = []
     delims: list[str] = []
     for child in elem:
@@ -64,41 +80,63 @@ def _walk_element(elem: ET.Element, prefix: str) -> tuple[list[Field], list[str]
             name = child.get("name")
             type_ = child.get("type")
             if name is None or type_ is None:
-                raise ConfigError("<value> requires 'name' and 'type' attributes")
+                raise ConfigError(
+                    f"<value> requires 'name' and 'type' attributes [{where(child)}]"
+                )
             full_name = f"{prefix}{name}" if prefix else name
             fields.append(Field(full_name.replace(".", "__"), _normalize_type(type_)))
         elif child.tag == "delimiter":
             value = child.get("value")
             if value is None:
-                raise ConfigError("<delimiter> requires a 'value' attribute")
+                raise ConfigError(
+                    f"<delimiter> requires a 'value' attribute [{where(child)}]"
+                )
             delims.append(_unescape(value))
         elif child.tag == "element":
             name = child.get("name", "")
             sub_prefix = f"{prefix}{name}." if name else prefix
-            sub_fields, sub_delims = _walk_element(child, sub_prefix)
+            sub_fields, sub_delims = _walk_element(child, sub_prefix, tree, filename)
             fields.extend(sub_fields)
             delims.extend(sub_delims)
         else:
-            raise ConfigError(f"unexpected tag <{child.tag}> inside <element>")
+            raise ConfigError(
+                f"unexpected tag <{child.tag}> inside <element> [{where(child)}]"
+            )
     return fields, delims
 
 
-def parse_input_config(source: str) -> RecordSchema:
-    """Parse one ``<input>`` document (XML text) into a :class:`RecordSchema`."""
+def parse_input_config(source: str, filename: Optional[str] = None) -> RecordSchema:
+    """Parse one ``<input>`` document (XML text) into a :class:`RecordSchema`.
+
+    ``filename`` (when given) is woven into error messages as ``file:line``.
+    """
     try:
-        root = ET.fromstring(source)
-    except ET.ParseError as exc:
-        raise ConfigError(f"malformed input configuration XML: {exc}") from exc
+        tree = parse_located(source)
+    except XMLLocationError as exc:
+        raise ConfigError(
+            f"malformed input configuration XML: {exc} "
+            f"[{format_location(filename, exc.line)}]"
+        ) from exc
+    root = tree.root
+
+    def where(node: ET.Element) -> str:
+        return format_location(filename, tree.line(node))
+
     if root.tag != "input":
-        raise ConfigError(f"expected <input> root element, found <{root.tag}>")
+        raise ConfigError(
+            f"expected <input> root element, found <{root.tag}> [{where(root)}]"
+        )
     input_id = root.get("id")
     if not input_id:
-        raise ConfigError("<input> requires an 'id' attribute")
+        raise ConfigError(f"<input> requires an 'id' attribute [{where(root)}]")
 
     fmt_node = root.find("input_format")
     input_format = (fmt_node.text or "").strip() if fmt_node is not None else "binary"
     if input_format not in ("binary", "text"):
-        raise ConfigError(f"input_format must be 'binary' or 'text', got {input_format!r}")
+        raise ConfigError(
+            f"input_format must be 'binary' or 'text', got {input_format!r} "
+            f"[{where(fmt_node if fmt_node is not None else root)}]"
+        )
 
     start_node = root.find("start_position")
     start_position = 0
@@ -106,12 +144,15 @@ def parse_input_config(source: str) -> RecordSchema:
         try:
             start_position = int((start_node.text or "").strip())
         except ValueError as exc:
-            raise ConfigError(f"start_position must be an integer: {start_node.text!r}") from exc
+            raise ConfigError(
+                f"start_position must be an integer: {start_node.text!r} "
+                f"[{where(start_node)}]"
+            ) from exc
 
     elem = root.find("element")
     if elem is None:
-        raise ConfigError(f"input {input_id!r} declares no <element>")
-    fields, delims = _walk_element(elem, "")
+        raise ConfigError(f"input {input_id!r} declares no <element> [{where(root)}]")
+    fields, delims = _walk_element(elem, "", tree, filename)
 
     return RecordSchema(
         id=input_id,
@@ -125,7 +166,7 @@ def parse_input_config(source: str) -> RecordSchema:
 def load_input_config(path: PathLike) -> RecordSchema:
     """Parse an input-data configuration file from disk."""
     with open(path, "r", encoding="utf-8") as fh:
-        return parse_input_config(fh.read())
+        return parse_input_config(fh.read(), filename=os.fspath(path))
 
 
 #: XML text of the paper's Figure 4 (BLAST index) configuration.

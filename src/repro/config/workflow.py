@@ -14,11 +14,16 @@ import xml.etree.ElementTree as ET
 from dataclasses import dataclass, field
 from typing import Any, Optional, Union
 
+from repro.analysis.locate import XMLLocationError, format_location, parse_located
 from repro.errors import ConfigError, WorkflowError
 
 PathLike = Union[str, os.PathLike]
 
 _REF_RE = re.compile(r"\$([A-Za-z_][A-Za-z0-9_]*(?:\.\$?[A-Za-z_][A-Za-z0-9_]*)*)")
+
+#: string literals accepted by boolean parameter coercion
+BOOLEAN_TRUE_LITERALS = frozenset({"true", "1", "yes", "on"})
+BOOLEAN_FALSE_LITERALS = frozenset({"false", "0", "no", "off"})
 
 
 @dataclass(frozen=True)
@@ -29,6 +34,8 @@ class ParamSpec:
     type: str = "String"
     value: Optional[str] = None
     format: Optional[str] = None
+    #: 1-based source line of the declaration (when parsed from a file)
+    line: Optional[int] = field(default=None, compare=False, repr=False)
 
     def coerce(self, raw: Any) -> Any:
         """Convert a resolved raw value to this parameter's declared type."""
@@ -43,7 +50,16 @@ class ParamSpec:
             if t in ("boolean", "bool"):
                 if isinstance(raw, bool):
                     return raw
-                return str(raw).strip().lower() in ("true", "1", "yes")
+                text = str(raw).strip().lower()
+                if text in BOOLEAN_TRUE_LITERALS:
+                    return True
+                if text in BOOLEAN_FALSE_LITERALS:
+                    return False
+                raise WorkflowError(
+                    f"parameter {self.name!r}: {raw!r} is not a boolean literal; "
+                    f"use one of {sorted(BOOLEAN_TRUE_LITERALS)} or "
+                    f"{sorted(BOOLEAN_FALSE_LITERALS)}"
+                )
             if t == "stringlist":
                 if isinstance(raw, (list, tuple)):
                     return list(raw)
@@ -63,6 +79,8 @@ class AddOnSpec:
     key: Optional[str] = None
     attr: Optional[str] = None
     value: Optional[str] = None
+    #: 1-based source line of the declaration (when parsed from a file)
+    line: Optional[int] = field(default=None, compare=False, repr=False)
 
 
 @dataclass
@@ -74,6 +92,8 @@ class OperatorSpec:
     params: dict[str, ParamSpec] = field(default_factory=dict)
     addons: list[AddOnSpec] = field(default_factory=list)
     attrs: dict[str, str] = field(default_factory=dict)
+    #: 1-based source line of the ``<operator>`` tag (when parsed from a file)
+    line: Optional[int] = field(default=None, compare=False, repr=False)
 
     def param_value(self, name: str) -> Optional[str]:
         spec = self.params.get(name)
@@ -88,6 +108,8 @@ class WorkflowSpec:
     name: str
     arguments: dict[str, ParamSpec] = field(default_factory=dict)
     operators: list[OperatorSpec] = field(default_factory=list)
+    #: originating file (when parsed from disk) for diagnostics
+    source_file: Optional[str] = field(default=None, compare=False, repr=False)
 
     def operator(self, op_id: str) -> OperatorSpec:
         for op in self.operators:
@@ -96,50 +118,71 @@ class WorkflowSpec:
         raise WorkflowError(f"workflow {self.id!r} has no operator {op_id!r}")
 
 
-def _parse_param(node: ET.Element) -> ParamSpec:
+def _parse_param(node: ET.Element, line: Optional[int], where: str) -> ParamSpec:
     name = node.get("name")
     if not name:
-        raise ConfigError("<param> requires a 'name' attribute")
+        raise ConfigError(f"<param> requires a 'name' attribute [{where}]")
     return ParamSpec(
         name=name,
         type=node.get("type", "String"),
         value=node.get("value"),
         format=node.get("format"),
+        line=line,
     )
 
 
-def parse_workflow_config(source: str) -> WorkflowSpec:
-    """Parse one ``<workflow>`` document (XML text)."""
+def parse_workflow_config(source: str, filename: Optional[str] = None) -> WorkflowSpec:
+    """Parse one ``<workflow>`` document (XML text).
+
+    ``filename`` (when given) is recorded on the spec and woven into error
+    messages as ``file:line`` so configuration mistakes are locatable.
+    """
     try:
-        root = ET.fromstring(source)
-    except ET.ParseError as exc:
-        raise ConfigError(f"malformed workflow configuration XML: {exc}") from exc
+        tree = parse_located(source)
+    except XMLLocationError as exc:
+        raise ConfigError(
+            f"malformed workflow configuration XML: {exc} "
+            f"[{format_location(filename, exc.line)}]"
+        ) from exc
+    root = tree.root
+
+    def where(node: ET.Element) -> str:
+        return format_location(filename, tree.line(node))
+
     if root.tag != "workflow":
-        raise ConfigError(f"expected <workflow> root element, found <{root.tag}>")
+        raise ConfigError(
+            f"expected <workflow> root element, found <{root.tag}> [{where(root)}]"
+        )
     wf_id = root.get("id")
     if not wf_id:
-        raise ConfigError("<workflow> requires an 'id' attribute")
-    spec = WorkflowSpec(id=wf_id, name=root.get("name", wf_id))
+        raise ConfigError(f"<workflow> requires an 'id' attribute [{where(root)}]")
+    spec = WorkflowSpec(id=wf_id, name=root.get("name", wf_id), source_file=filename)
 
     args_node = root.find("arguments")
     if args_node is not None:
         for p in args_node.findall("param"):
-            ps = _parse_param(p)
+            ps = _parse_param(p, tree.line(p), where(p))
             if ps.name in spec.arguments:
-                raise ConfigError(f"duplicate workflow argument {ps.name!r}")
+                raise ConfigError(
+                    f"duplicate workflow argument {ps.name!r} [{where(p)}]"
+                )
             spec.arguments[ps.name] = ps
 
     ops_node = root.find("operators")
     if ops_node is None or not list(ops_node):
-        raise ConfigError(f"workflow {wf_id!r} declares no operators")
+        raise ConfigError(
+            f"workflow {wf_id!r} declares no operators [{where(root)}]"
+        )
     seen_ids: set[str] = set()
     for op_node in ops_node.findall("operator"):
         op_id = op_node.get("id")
         op_name = op_node.get("operator")
         if not op_id or not op_name:
-            raise ConfigError("<operator> requires 'id' and 'operator' attributes")
+            raise ConfigError(
+                f"<operator> requires 'id' and 'operator' attributes [{where(op_node)}]"
+            )
         if op_id in seen_ids:
-            raise ConfigError(f"duplicate operator id {op_id!r}")
+            raise ConfigError(f"duplicate operator id {op_id!r} [{where(op_node)}]")
         seen_ids.add(op_id)
         op = OperatorSpec(
             id=op_id,
@@ -147,9 +190,10 @@ def parse_workflow_config(source: str) -> WorkflowSpec:
             attrs={
                 k: v for k, v in op_node.attrib.items() if k not in ("id", "operator")
             },
+            line=tree.line(op_node),
         )
         for p in op_node.findall("param"):
-            ps = _parse_param(p)
+            ps = _parse_param(p, tree.line(p), where(p))
             op.params[ps.name] = ps
         for a in op_node.findall("addon"):
             op.addons.append(
@@ -158,10 +202,13 @@ def parse_workflow_config(source: str) -> WorkflowSpec:
                     key=a.get("key"),
                     attr=a.get("attr"),
                     value=a.get("value"),
+                    line=tree.line(a),
                 )
             )
             if not op.addons[-1].operator:
-                raise ConfigError(f"<addon> in operator {op_id!r} requires 'operator'")
+                raise ConfigError(
+                    f"<addon> in operator {op_id!r} requires 'operator' [{where(a)}]"
+                )
         spec.operators.append(op)
     return spec
 
@@ -169,7 +216,7 @@ def parse_workflow_config(source: str) -> WorkflowSpec:
 def load_workflow_config(path: PathLike) -> WorkflowSpec:
     """Parse a workflow configuration file from disk."""
     with open(path, "r", encoding="utf-8") as fh:
-        return parse_workflow_config(fh.read())
+        return parse_workflow_config(fh.read(), filename=os.fspath(path))
 
 
 class Bindings:

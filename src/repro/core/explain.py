@@ -24,17 +24,32 @@ from repro.ops.sort import Sort
 from repro.ops.split import Split
 
 
+def _dot_escape(text: str) -> str:
+    """Escape ``text`` for use inside a double-quoted DOT string."""
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _dot_quote(text: str) -> str:
+    """A double-quoted DOT string; backslashes and quotes are escaped."""
+    return f'"{_dot_escape(text)}"'
+
+
 def plan_to_dot(plan: WorkflowPlan) -> str:
     """Graphviz DOT text of the planned dataflow."""
-    lines = [f'digraph "{plan.workflow_id}" {{', "  rankdir=LR;", '  input [shape=oval];']
+    lines = [
+        f"digraph {_dot_quote(plan.workflow_id)} {{",
+        "  rankdir=LR;",
+        "  input [shape=oval];",
+    ]
     for job in plan.jobs:
-        label = f"{job.op_id}\\n({job.operator_name})"
-        lines.append(f'  "{job.op_id}" [shape=box, label="{label}"];')
+        # \n here is the DOT line-break escape, applied after id escaping
+        label = f"{_dot_escape(job.op_id)}\\n({_dot_escape(job.operator_name)})"
+        lines.append(f'  {_dot_quote(job.op_id)} [shape=box, label="{label}"];')
         src = job.source if job.source else "input"
-        lines.append(f'  "{src}" -> "{job.op_id}";')
+        lines.append(f"  {_dot_quote(src)} -> {_dot_quote(job.op_id)};")
     final = plan.final_job.op_id
-    lines.append('  partitions [shape=oval];')
-    lines.append(f'  "{final}" -> partitions;')
+    lines.append("  partitions [shape=oval];")
+    lines.append(f"  {_dot_quote(final)} -> partitions;")
     lines.append("}")
     return "\n".join(lines) + "\n"
 

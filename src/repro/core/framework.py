@@ -76,6 +76,59 @@ class PaPar:
         """Parse a workflow configuration from disk."""
         return load_workflow_config(path)
 
+    # -- static analysis -----------------------------------------------------------
+
+    def lint(
+        self,
+        workflow: Union[WorkflowSpec, str],
+        args: Optional[dict[str, Any]] = None,
+        inputs: Any = (),
+        ranks: Optional[int] = None,
+        do_plan: bool = True,
+    ):
+        """Statically analyze a workflow configuration without executing it.
+
+        Returns a :class:`~repro.analysis.diagnostics.LintResult` holding
+        *every* finding (stable ``PAPnnn`` codes, severities, source
+        locations, suggested fixes — see ``docs/lint-rules.md``).  Schemas
+        registered on this instance participate in the type-flow rules;
+        ``inputs`` adds extra input-config XML texts for this call only.
+        """
+        from repro.analysis.engine import Linter
+        from repro.config.serialize import workflow_to_xml
+
+        if isinstance(workflow, WorkflowSpec):
+            xml = workflow_to_xml(workflow)
+            filename = workflow.source_file or "<workflow>"
+        else:
+            xml = workflow
+            filename = "<workflow>"
+        return Linter(schemas=self._schemas, ranks=ranks).lint(
+            xml,
+            filename=filename,
+            inputs=[(text, None) for text in inputs],
+            args=args,
+            do_plan=do_plan,
+        )
+
+    def lint_files(
+        self,
+        workflow_path: Union[str, os.PathLike],
+        input_paths: Any = (),
+        args: Optional[dict[str, Any]] = None,
+        ranks: Optional[int] = None,
+        do_plan: bool = True,
+    ):
+        """Statically analyze configuration files (see :meth:`lint`)."""
+        from repro.analysis.engine import Linter
+
+        return Linter(schemas=self._schemas, ranks=ranks).lint_paths(
+            os.fspath(workflow_path),
+            [os.fspath(p) for p in input_paths],
+            args=args,
+            do_plan=do_plan,
+        )
+
     # -- planning and code generation ----------------------------------------------
 
     def plan(

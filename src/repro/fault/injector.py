@@ -32,7 +32,7 @@ import random
 import threading
 import zlib
 from dataclasses import replace as _dc_replace
-from typing import Any, Optional
+from typing import Any
 
 from repro.errors import InjectedFault
 from repro.fault.schedule import FaultSchedule, FaultSpec

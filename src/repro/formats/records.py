@@ -11,7 +11,7 @@ the operators).
 from __future__ import annotations
 
 from dataclasses import dataclass, field as dc_field
-from typing import Any, Optional, Sequence
+from typing import Any, Sequence
 
 import numpy as np
 

@@ -33,7 +33,6 @@ import numpy as np
 
 from repro.errors import PaParError
 from repro.graph.graph import Graph
-from repro.mapreduce.partitioner import stable_hash
 
 
 @dataclass

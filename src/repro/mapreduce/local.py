@@ -8,7 +8,7 @@ single-process partitioner binaries.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, Optional, Sequence
+from typing import Any, Iterable, Optional, Sequence
 
 from repro.mapreduce.engine import KV, MapFn, ReduceFn
 from repro.mapreduce.partitioner import HashPartitioner, Partitioner

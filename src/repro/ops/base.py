@@ -18,7 +18,7 @@ describing the class in a registration file (Figure 7,
 from __future__ import annotations
 
 import abc
-from typing import Any, Callable, ClassVar, Optional
+from typing import Any, ClassVar, Optional
 
 import numpy as np
 

@@ -47,6 +47,10 @@ class SplitCondition:
         """Vectorized predicate over the key column."""
         return _OPS[self.op](values, self.operand)
 
+    def matches_scalar(self, value: Any) -> bool:
+        """Scalar predicate (used by the static analyzer's coverage probe)."""
+        return bool(_OPS[self.op](value, self.operand))
+
 
 class SplitPolicy:
     """An ordered list of conditions, one per output; first match wins."""

@@ -1,0 +1,128 @@
+"""The ``lint`` subcommand and the plan/run lint gate."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+GOOD_ARGS = ["--arg", "input_path=/in", "--arg", "output_path=/out",
+             "--arg", "num_partitions=4"]
+
+BROKEN_WORKFLOW = """<workflow id="t">
+  <arguments>
+    <param name="input_path" type="hdfs"/>
+  </arguments>
+  <operators>
+    <operator id="a" operator="Sorty">
+      <param name="inputPath" value="$input_paht"/>
+      <param name="key" value="k"/>
+    </operator>
+  </operators>
+</workflow>"""
+
+WARN_ONLY_WORKFLOW = """<workflow id="t">
+  <arguments>
+    <param name="input_path" type="hdfs"/>
+    <param name="unused" type="integer" value="1"/>
+  </arguments>
+  <operators>
+    <operator id="a" operator="Sort">
+      <param name="inputPath" value="$input_path"/>
+      <param name="key" value="k"/>
+    </operator>
+  </operators>
+</workflow>"""
+
+
+@pytest.fixture
+def repo_configs(pytestconfig):
+    return pytestconfig.rootpath / "configs"
+
+
+@pytest.fixture
+def broken_xml(tmp_path):
+    path = tmp_path / "broken.xml"
+    path.write_text(BROKEN_WORKFLOW)
+    return path
+
+
+@pytest.fixture
+def warn_xml(tmp_path):
+    path = tmp_path / "warn.xml"
+    path.write_text(WARN_ONLY_WORKFLOW)
+    return path
+
+
+class TestLintCommand:
+    def test_clean_config_exits_zero(self, repo_configs, capsys):
+        code = main([
+            "lint", str(repo_configs / "blast_partition.xml"),
+            "--input", str(repo_configs / "blast_db.xml"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0 error(s), 0 warning(s)" in out
+
+    def test_broken_config_exits_one_and_reports_all(self, broken_xml, capsys):
+        code = main(["lint", str(broken_xml)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "PAP004" in out and "PAP010" in out
+
+    def test_strict_fails_on_warnings(self, warn_xml, capsys):
+        assert main(["lint", str(warn_xml)]) == 0
+        assert main(["lint", str(warn_xml), "--strict"]) == 1
+        assert "PAP013" in capsys.readouterr().out
+
+    def test_json_output(self, broken_xml, capsys):
+        code = main(["lint", str(broken_xml), "--format", "json"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tool"] == "papar-lint"
+        assert any(d["code"] == "PAP004" for d in payload["diagnostics"])
+
+    def test_ranks_enable_cluster_fit_rules(self, repo_configs, capsys):
+        code = main([
+            "lint", str(repo_configs / "blast_partition.xml"),
+            "--input", str(repo_configs / "blast_db.xml"),
+            "--arg", "num_partitions=2", "--ranks", "16",
+        ])
+        assert code == 0  # PAP044 is a warning
+        assert "PAP044" in capsys.readouterr().out
+
+
+class TestLintGate:
+    def test_plan_refuses_broken_config(self, broken_xml, capsys):
+        code = main(["plan", "--workflow", str(broken_xml)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "PAP004" in err and "--no-lint" in err
+
+    def test_plan_no_lint_overrides(self, broken_xml, capsys):
+        code = main(["plan", "--workflow", str(broken_xml), "--no-lint",
+                     "--arg", "input_path=/in"])
+        # the gate is skipped; the planner itself then rejects the config
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "PAP004" not in err
+
+    def test_plan_passes_clean_config(self, repo_configs, capsys):
+        code = main([
+            "plan",
+            "--workflow", str(repo_configs / "blast_partition.xml"),
+            "--input-config", str(repo_configs / "blast_db.xml"),
+            *GOOD_ARGS,
+        ])
+        assert code == 0
+        assert "job(s)" in capsys.readouterr().out
+
+    def test_warnings_do_not_block_plan(self, warn_xml, capsys):
+        code = main(["plan", "--workflow", str(warn_xml),
+                     "--arg", "input_path=/in"])
+        assert code == 0
+
+    def test_run_refuses_broken_config(self, broken_xml, capsys):
+        code = main(["run", "--workflow", str(broken_xml)])
+        assert code == 2
+        assert "--no-lint" in capsys.readouterr().err

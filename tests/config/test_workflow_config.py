@@ -106,6 +106,17 @@ class TestBindArguments:
         assert ps.coerce("true") is True
         assert ps.coerce("False") is False
         assert ps.coerce(True) is True
+        assert ps.coerce(" Yes ") is True
+        assert ps.coerce("0") is False
+
+    def test_boolean_typo_rejected(self):
+        """'ture' must raise, not silently coerce to False."""
+        from repro.config import ParamSpec
+
+        ps = ParamSpec("flag", type="boolean")
+        for bad in ("ture", "flase", "enabled", ""):
+            with pytest.raises(WorkflowError, match="boolean literal"):
+                ps.coerce(bad)
 
     def test_stringlist_coercion(self):
         from repro.config import ParamSpec

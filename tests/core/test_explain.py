@@ -1,5 +1,8 @@
 """Plan DOT rendering and cost prediction."""
 
+import re
+from types import SimpleNamespace
+
 import numpy as np
 import pytest
 
@@ -42,6 +45,24 @@ class TestDot:
         dot = plan_to_dot(plan)
         assert '"group" -> "split"' in dot
         assert '"split" -> "distr"' in dot
+
+    def test_ids_with_quotes_and_backslashes_are_escaped(self):
+        """Hostile ids must not break out of DOT string literals."""
+        job = SimpleNamespace(
+            op_id='so"rt', operator_name="Sort\\Stable", source=None
+        )
+        plan = SimpleNamespace(
+            workflow_id='w"f\\1', jobs=[job], final_job=job
+        )
+        dot = plan_to_dot(plan)
+        assert dot.startswith('digraph "w\\"f\\\\1"')
+        assert '"so\\"rt"' in dot
+        assert 'label="so\\"rt\\n(Sort\\\\Stable)"' in dot
+        # every quote inside a string literal is escaped
+        for line in dot.splitlines():
+            body = line.strip()
+            unescaped = re.sub(r'\\.', "", body)
+            assert unescaped.count('"') % 2 == 0, line
 
 
 class TestCostEstimate:
