@@ -96,6 +96,7 @@ class LintResult:
         return len(self.diagnostics)
 
     def extend(self, diags: Iterable[Diagnostic]) -> None:
+        """Append findings from another checker."""
         self.diagnostics.extend(diags)
 
     def sort(self) -> None:
@@ -113,17 +114,21 @@ class LintResult:
 
     @property
     def errors(self) -> list[Diagnostic]:
+        """The error-severity findings."""
         return [d for d in self.diagnostics if d.severity is Severity.ERROR]
 
     @property
     def warnings(self) -> list[Diagnostic]:
+        """The warning-severity findings."""
         return [d for d in self.diagnostics if d.severity is Severity.WARNING]
 
     @property
     def infos(self) -> list[Diagnostic]:
+        """The info-severity findings."""
         return [d for d in self.diagnostics if d.severity is Severity.INFO]
 
     def codes(self) -> set[str]:
+        """The distinct PAPnnn codes present in this result."""
         return {d.code for d in self.diagnostics}
 
     def ok(self, strict: bool = False) -> bool:
@@ -141,6 +146,7 @@ class LintResult:
     # -- rendering ----------------------------------------------------------
 
     def summary(self) -> str:
+        """The one-line count summary ("N error(s), N warning(s), N info")."""
         return (
             f"{len(self.errors)} error(s), {len(self.warnings)} warning(s), "
             f"{len(self.infos)} info"
@@ -167,4 +173,5 @@ class LintResult:
         }
 
     def render_json(self) -> str:
+        """:meth:`to_dict` as indented JSON text."""
         return json.dumps(self.to_dict(), indent=2)

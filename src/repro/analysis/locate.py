@@ -51,15 +51,18 @@ class LocatedTree:
         self._positions = positions
 
     def position(self, elem: ET.Element) -> Optional[SourcePosition]:
+        """The recorded start-tag position of ``elem``, if any."""
         return self._positions.get(id(elem))
 
     def line(self, elem: Optional[ET.Element]) -> Optional[int]:
+        """1-based line of ``elem``'s start tag (None when unknown)."""
         if elem is None:
             return None
         pos = self.position(elem)
         return pos.line if pos is not None else None
 
     def column(self, elem: Optional[ET.Element]) -> Optional[int]:
+        """1-based column of ``elem``'s start tag (None when unknown)."""
         if elem is None:
             return None
         pos = self.position(elem)
@@ -77,6 +80,7 @@ class LocatingXMLParser:
     """
 
     def parse(self, source: str) -> LocatedTree:
+        """Parse ``source`` XML, recording each element's start position."""
         builder = ET.TreeBuilder()
         positions: dict[int, SourcePosition] = {}
         parser = xml.parsers.expat.ParserCreate()

@@ -44,6 +44,7 @@ class LintOperator:
 
     @property
     def kind(self) -> str:
+        """The operator name, normalized for case-insensitive matching."""
         return self.operator.strip().lower()
 
     def param(self, *names: str) -> Optional[ParamSpec]:
@@ -55,6 +56,7 @@ class LintOperator:
         return None
 
     def param_value(self, *names: str) -> Optional[str]:
+        """Value of the first parameter matching any of ``names``."""
         p = self.param(*names)
         return p.value if p is not None else None
 
@@ -70,15 +72,18 @@ class LintWorkflow:
     line: Optional[int] = None
 
     def argument(self, name: str) -> Optional[ParamSpec]:
+        """The declared workflow argument called ``name``, if any."""
         for a in self.arguments:
             if a.name == name:
                 return a
         return None
 
     def operator_ids(self) -> list[str]:
+        """Operator ids in document order."""
         return [op.id for op in self.operators]
 
     def operator_index(self, op_id: str) -> Optional[int]:
+        """Position of operator ``op_id`` in document order, if present."""
         for i, op in enumerate(self.operators):
             if op.id == op_id:
                 return i
@@ -99,10 +104,12 @@ class Reference:
 
     @property
     def parts(self) -> list[str]:
+        """The dotted reference split into components."""
         return self.ref.replace("$", "").split(".")
 
     @property
     def head(self) -> str:
+        """The first component: an argument name or an operator id."""
         return self.parts[0]
 
 
@@ -362,6 +369,7 @@ class SymbolicEnv:
         self.values: dict[str, str] = {}
 
     def bind(self, name: str, value: str) -> None:
+        """Make ``$name`` resolve to ``value``."""
         self.values[name.replace("$", "")] = value
 
     def resolve(self, text: Optional[str]) -> tuple[Optional[str], bool]:

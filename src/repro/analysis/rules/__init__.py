@@ -138,4 +138,5 @@ __all__ = ["CATALOG", "CHECKERS", "RuleSpec", "all_codes", "checker"]
 
 
 def iter_checkers() -> Iterable[Callable]:
+    """The registered checker callables, in registration order."""
     return tuple(CHECKERS)

@@ -114,6 +114,15 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="SECONDS",
                        help="blocked-wait budget before a DeadlockError "
                             "(default 60)")
+    p_run.add_argument("--trace", metavar="FILE",
+                       help="write a Chrome trace-event JSON of the run "
+                            "(load in Perfetto or chrome://tracing)")
+    p_run.add_argument("--metrics", metavar="FILE",
+                       help="write the versioned metrics JSON "
+                            "(counters, gauges, histograms, span stats)")
+    p_run.add_argument("--timeline", action="store_true",
+                       help="print a per-rank Gantt chart and the "
+                            "critical-path summary")
     return parser
 
 
@@ -261,6 +270,12 @@ def cmd_run(ns: argparse.Namespace) -> int:
         fault_tolerance["retry"] = RetryPolicy(max_attempts=ns.max_attempts)
     if ns.deadlock_grace is not None:
         fault_tolerance["deadlock_grace"] = ns.deadlock_grace
+    recorder = None
+    if ns.trace or ns.metrics or ns.timeline:
+        from repro.obs import Recorder
+
+        recorder = Recorder()
+        fault_tolerance["recorder"] = recorder
     out = papar.partition_files(
         workflow, args, backend=ns.backend, num_ranks=ns.ranks, **fault_tolerance
     )
@@ -270,7 +285,30 @@ def cmd_run(ns: argparse.Namespace) -> int:
     print_fault_report(out.result)
     if ns.stats:
         print_stats(out.result)
+    if recorder is not None:
+        _export_observability(ns, recorder, out)
     return 0
+
+
+def _export_observability(ns: argparse.Namespace, recorder, out) -> None:
+    """Write the --trace/--metrics artifacts and print the --timeline."""
+    from repro.obs import print_timeline, write_chrome_trace, write_metrics
+
+    if ns.trace:
+        write_chrome_trace(ns.trace, recorder)
+        print(f"wrote trace {ns.trace}")
+    if ns.metrics:
+        run_info = {
+            "workflow": ns.workflow,
+            "backend": ns.backend,
+            "ranks": ns.ranks,
+            "partitions": out.num_partitions,
+            "elapsed_virtual_s": out.result.elapsed,
+        }
+        write_metrics(ns.metrics, recorder, run=run_info)
+        print(f"wrote metrics {ns.metrics}")
+    if ns.timeline:
+        print_timeline(recorder)
 
 
 _COMMANDS = {

@@ -101,7 +101,8 @@ def partition_files(
     ``args`` must bind the workflow's input path argument to a real file and
     its output path argument to a directory.  ``fault_tolerance`` keywords
     (``faults``, ``checkpoint``, ``retry``, ``chaos_seed``,
-    ``deadlock_grace``) are forwarded to :meth:`repro.PaPar.run`.
+    ``deadlock_grace``, plus an observability ``recorder``) are forwarded
+    to :meth:`repro.PaPar.run`.
     """
     spec = papar.load_workflow(workflow) if isinstance(workflow, str) else workflow
     input_arg, output_arg = find_io_arguments(spec)

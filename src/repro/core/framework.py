@@ -232,6 +232,7 @@ class PaPar:
         retry: Any = None,
         chaos_seed: int = 0,
         deadlock_grace: Optional[float] = None,
+        recorder: Any = None,
     ) -> PartitionResult:
         """Plan (if needed) and execute a workflow over ``data``.
 
@@ -243,6 +244,11 @@ class PaPar:
         injector's deterministic draws and the backoff jitter, and
         ``deadlock_grace`` bounds blocked waits before
         :class:`~repro.errors.DeadlockError`.
+
+        Observability: pass a :class:`~repro.obs.Recorder` as ``recorder``
+        to collect the span tree, metrics, and trace events for this run
+        (works on every backend; exposed on
+        :attr:`PartitionResult.observability`).
         """
         if isinstance(workflow, WorkflowPlan):
             plan = workflow
@@ -262,13 +268,17 @@ class PaPar:
                 raise WorkflowError(
                     "fault tolerance needs an SPMD backend; use 'mpi' or 'mapreduce'"
                 )
-            return SerialRuntime().execute(plan, data)
+            return SerialRuntime(recorder=recorder).execute(plan, data)
         if backend == "mpi":
-            return MPIRuntime(num_ranks=num_ranks, cluster=cluster, **ft).execute(plan, data)
+            return MPIRuntime(
+                num_ranks=num_ranks, cluster=cluster, recorder=recorder, **ft
+            ).execute(plan, data)
         if backend == "mapreduce":
             from repro.core.mr_runtime import MapReduceRuntime
 
-            return MapReduceRuntime(num_ranks=num_ranks, cluster=cluster, **ft).execute(plan, data)
+            return MapReduceRuntime(
+                num_ranks=num_ranks, cluster=cluster, recorder=recorder, **ft
+            ).execute(plan, data)
         raise WorkflowError(
             f"unknown backend {backend!r}; use 'serial', 'mpi' or 'mapreduce'"
         )

@@ -25,7 +25,8 @@ formalization.
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from contextlib import nullcontext
+from typing import TYPE_CHECKING, Any, Optional
 
 import numpy as np
 
@@ -52,6 +53,9 @@ from repro.ops.group import Group
 from repro.ops.sort import Sort
 from repro.ops.split import Split
 
+if TYPE_CHECKING:  # pragma: no cover - typing only; obs stays a lazy import
+    from repro.obs.span import Recorder
+
 
 class MapReduceRuntime(RecoveringRuntimeMixin):
     """Executes a workflow plan as a sequence of MR-MPI jobs."""
@@ -67,6 +71,7 @@ class MapReduceRuntime(RecoveringRuntimeMixin):
         checkpoint: Optional[CheckpointStore] = None,
         retry: Optional[RetryPolicy] = None,
         deadlock_grace: Optional[float] = None,
+        recorder: Optional["Recorder"] = None,
     ) -> None:
         if cluster is not None and cluster.size != num_ranks:
             raise WorkflowError(
@@ -76,15 +81,29 @@ class MapReduceRuntime(RecoveringRuntimeMixin):
         self.cluster = cluster
         self.sample_size = sample_size
         self._init_fault_tolerance(faults, chaos_seed, checkpoint, retry, deadlock_grace)
+        self._init_observability(recorder)
 
     def execute(self, plan: WorkflowPlan, input_data: Dataset) -> PartitionResult:
-        run, perf_slots, fault_report = self._execute_spmd(plan, input_data)
+        if self.recorder is None:
+            run, perf_slots, fault_report = self._execute_spmd(plan, input_data)
+        else:
+            with self.recorder.span(
+                f"plan:{plan.workflow_id}",
+                category="plan",
+                attrs={"backend": "mapreduce", "ranks": self.num_ranks},
+            ) as root:
+                self._obs_root = root
+                try:
+                    run, perf_slots, fault_report = self._execute_spmd(plan, input_data)
+                finally:
+                    self._obs_root = None
         merged: dict[int, Dataset] = {}
         for rank_out in run.results:
             merged.update(rank_out)
         extra: dict[str, Any] = {"perf": PerfCounters.merge_ranks(perf_slots).summary()}
         if fault_report is not None:
             extra["fault"] = fault_report
+        self._finish_observability(extra, fault_report)
         return PartitionResult(
             partitions=[merged[p] for p in sorted(merged)],
             elapsed=run.elapsed,
@@ -104,9 +123,12 @@ class MapReduceRuntime(RecoveringRuntimeMixin):
         checkpoint: Optional[CheckpointStore] = None,
         resume: int = 0,
         fingerprint: str = "",
+        recorder: Optional["Recorder"] = None,
+        obs_root: Any = None,
     ) -> dict[int, Dataset]:
         perf = PerfCounters()
-        engine = MRMPIEngine(comm, perf=perf)
+        comm.recorder = recorder
+        engine = MRMPIEngine(comm, perf=perf, recorder=recorder)
         local: Any = _dataset_rows_per_rank(input_data, comm.rank, comm.size)
         outputs: dict[str, Any] = {}
         final: Any = None
@@ -116,10 +138,24 @@ class MapReduceRuntime(RecoveringRuntimeMixin):
                 final = saved["output"]
                 outputs[job.op_id] = final
                 comm.clock.merge(saved["clock"])
+                if recorder is not None:
+                    recorder.instant(
+                        f"restored:{job.op_id}", category="checkpoint",
+                        rank=comm.rank, clock=comm.clock,
+                    )
                 continue
             source = SerialRuntime._job_input(job, i, plan, outputs, local)
             comm.check_fault(i, "before")
-            with perf.phase(job.operator_name.lower(), clock=comm.clock):
+            span = (
+                recorder.span(
+                    job.op_id, category="job", rank=comm.rank, clock=comm.clock,
+                    parent=obs_root,
+                    attrs={"job_index": i, "operator": job.operator_name.lower()},
+                )
+                if recorder is not None
+                else nullcontext()
+            )
+            with perf.phase(job.operator_name.lower(), clock=comm.clock), span:
                 final = self._run_job(engine, job, source)
             outputs[job.op_id] = final
             comm.check_fault(i, "after")
@@ -213,7 +249,15 @@ class MapReduceRuntime(RecoveringRuntimeMixin):
                     engine.perf.count_move(len(idx), chunk.nbytes)
                 dest_rank = reducer_part(p) % comm.size
                 outboxes[dest_rank].append((p, int(global_idx[idx[0]]), chunk))
-            inboxes = comm.alltoall(outboxes)
+            if comm.recorder is not None:
+                with comm.recorder.span(
+                    "distribute-shuffle", category="shuffle",
+                    rank=comm.rank, clock=comm.clock,
+                    attrs={"stream": stream_idx, "records": n_local},
+                ):
+                    inboxes = comm.alltoall(outboxes)
+            else:
+                inboxes = comm.alltoall(outboxes)
             for box in inboxes:
                 for p, first_idx, chunk in box:
                     collected.setdefault(p, []).append((stream_idx, first_idx, chunk))
@@ -260,9 +304,17 @@ class MapReduceRuntime(RecoveringRuntimeMixin):
         perf: Optional[PerfCounters] = None,
     ) -> list[Dataset]:
         outboxes = [data.take(idx) for idx in bucketize(owners, comm.size)]
+        nbytes = sum(b.nbytes for b in outboxes)
         if perf is not None:
-            perf.count_move(len(owners), sum(b.nbytes for b in outboxes))
-        inboxes = comm.alltoall(outboxes)
+            perf.count_move(len(owners), nbytes)
+        if comm.recorder is not None:
+            with comm.recorder.span(
+                "shuffle", category="shuffle", rank=comm.rank, clock=comm.clock,
+                attrs={"records": len(owners), "nbytes": nbytes},
+            ):
+                inboxes = comm.alltoall(outboxes)
+        else:
+            inboxes = comm.alltoall(outboxes)
         flats = [b.to_flat() for b in inboxes if len(b)]
         if not flats:
             return [data.take(np.empty(0, dtype=np.int64)).to_flat()]

@@ -28,12 +28,20 @@ backoff, resuming from the last job every rank checkpointed; the recovery
 report lands in ``PartitionResult.extra["fault"]``.  Without any of those
 arguments the execution path is byte-for-byte the old one — a fault-free run
 pays nothing.
+
+Observability (see :mod:`repro.obs`): every backend accepts a ``recorder``.
+When one is attached the run is recorded as a span tree (plan → per-rank
+job spans → shuffle spans, with virtual *and* wall time), the communicator
+charge points feed idle/byte counters, and the recorder lands in
+``PartitionResult.extra["obs"]`` for export (``--trace`` / ``--metrics`` /
+``--timeline`` on the CLI).  Without a recorder none of this code runs.
 """
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
 import numpy as np
 
@@ -55,6 +63,9 @@ from repro.ops.distribute import Distribute
 from repro.ops.group import Group
 from repro.ops.sort import Sort
 from repro.ops.split import Split
+
+if TYPE_CHECKING:  # pragma: no cover - typing only; obs stays a lazy import
+    from repro.obs.span import Recorder
 
 
 @dataclass
@@ -78,6 +89,16 @@ class PartitionResult:
         """The perf-counter summary, when the backend recorded one."""
         return self.extra.get("perf")
 
+    @property
+    def observability(self) -> Optional["Recorder"]:
+        """The :class:`~repro.obs.span.Recorder` that observed this run.
+
+        ``None`` unless a recorder was passed to the backend; exporters in
+        :mod:`repro.obs` turn it into a Chrome trace, a metrics JSON, or a
+        terminal timeline.
+        """
+        return self.extra.get("obs")
+
 
 def _dataset_rows_per_rank(data: Dataset, rank: int, size: int) -> Dataset:
     """Contiguous block decomposition preserving global entry order."""
@@ -91,19 +112,40 @@ def _dataset_rows_per_rank(data: Dataset, rank: int, size: int) -> Dataset:
 class SerialRuntime:
     """Single-process reference execution of a plan."""
 
+    def __init__(self, recorder: Optional["Recorder"] = None) -> None:
+        self.recorder = recorder
+
     def execute(self, plan: WorkflowPlan, input_data: Dataset) -> PartitionResult:
         perf = PerfCounters()
+        rec = self.recorder
         outputs: dict[str, Any] = {}
-        for i, job in enumerate(plan.jobs):
-            source = self._job_input(job, i, plan, outputs, input_data)
-            with perf.phase(job.operator_name.lower()):
-                outputs[job.op_id] = job.operator.apply_local(source)
+        with (
+            rec.span(f"plan:{plan.workflow_id}", category="plan",
+                     attrs={"backend": "serial", "ranks": 1})
+            if rec is not None
+            else nullcontext()
+        ) as root:
+            for i, job in enumerate(plan.jobs):
+                source = self._job_input(job, i, plan, outputs, input_data)
+                span = (
+                    rec.span(job.op_id, category="job", rank=0, parent=root,
+                             attrs={"job_index": i,
+                                    "operator": job.operator_name.lower()})
+                    if rec is not None
+                    else nullcontext()
+                )
+                with perf.phase(job.operator_name.lower()), span:
+                    outputs[job.op_id] = job.operator.apply_local(source)
         final = outputs[plan.final_job.op_id]
         if isinstance(final, Dataset):
             final = [final]
-        return PartitionResult(
-            partitions=list(final), extra={"perf": perf.summary()}
-        )
+        extra: dict[str, Any] = {"perf": perf.summary()}
+        if rec is not None:
+            from repro.obs.adapters import record_perf
+
+            record_perf(rec, extra["perf"])
+            extra["obs"] = rec
+        return PartitionResult(partitions=list(final), extra=extra)
 
     @staticmethod
     def _job_input(
@@ -151,6 +193,12 @@ class RecoveringRuntimeMixin:
         self.retry = retry
         self.deadlock_grace = deadlock_grace
 
+    def _init_observability(self, recorder: Optional["Recorder"]) -> None:
+        #: optional span/metrics recorder threaded through every rank thread
+        self.recorder = recorder
+        #: open root-span handle while :meth:`execute` is running
+        self._obs_root: Any = None
+
     @property
     def fault_tolerant(self) -> bool:
         """True when any fault-tolerance feature was configured."""
@@ -167,6 +215,9 @@ class RecoveringRuntimeMixin:
         for a plain run.
         """
         rank_program: Callable = self._rank_program  # type: ignore[attr-defined]
+        obs_kwargs: dict[str, Any] = {}
+        if self.recorder is not None:
+            obs_kwargs = {"recorder": self.recorder, "obs_root": self._obs_root}
         if not self.fault_tolerant:
             perf_slots: list[Optional[PerfCounters]] = [None] * self.num_ranks
             run = run_mpi(
@@ -174,6 +225,7 @@ class RecoveringRuntimeMixin:
                 self.num_ranks,
                 cluster=self.cluster,
                 args=(plan, input_data, perf_slots),
+                kwargs=obs_kwargs or None,
                 deadlock_grace=self.deadlock_grace,
             )
             return run, perf_slots, None
@@ -195,6 +247,7 @@ class RecoveringRuntimeMixin:
                     "checkpoint": self.checkpoint,
                     "resume": resume,
                     "fingerprint": fingerprint,
+                    **obs_kwargs,
                 },
                 fault_injector=injector,
                 deadlock_grace=self.deadlock_grace,
@@ -210,8 +263,23 @@ class RecoveringRuntimeMixin:
             retry=self.retry,
             injector=injector,
             seed=self.chaos_seed,
+            recorder=self.recorder,
         )
         return run, live_slots[0], report
+
+    def _finish_observability(
+        self,
+        extra: dict[str, Any],
+        fault_report: Optional[dict[str, Any]],
+    ) -> None:
+        """Fold the run's perf/fault streams into the recorder (when attached)."""
+        if self.recorder is None:
+            return
+        from repro.obs.adapters import record_fault_report, record_perf
+
+        record_perf(self.recorder, extra.get("perf"))
+        record_fault_report(self.recorder, fault_report)
+        extra["obs"] = self.recorder
 
 
 class MPIRuntime(RecoveringRuntimeMixin):
@@ -228,6 +296,7 @@ class MPIRuntime(RecoveringRuntimeMixin):
         checkpoint: Optional[CheckpointStore] = None,
         retry: Optional[RetryPolicy] = None,
         deadlock_grace: Optional[float] = None,
+        recorder: Optional["Recorder"] = None,
     ) -> None:
         if cluster is not None and cluster.size != num_ranks:
             raise WorkflowError(
@@ -237,13 +306,26 @@ class MPIRuntime(RecoveringRuntimeMixin):
         self.cluster = cluster
         self.sample_size = sample_size
         self._init_fault_tolerance(faults, chaos_seed, checkpoint, retry, deadlock_grace)
+        self._init_observability(recorder)
 
     # -- public API ---------------------------------------------------------
 
     def execute(self, plan: WorkflowPlan, input_data: Dataset) -> PartitionResult:
         # one perf-counter slot per rank, merged after the run (rank threads
         # write disjoint slots, so no locking is needed)
-        run, perf_slots, fault_report = self._execute_spmd(plan, input_data)
+        if self.recorder is None:
+            run, perf_slots, fault_report = self._execute_spmd(plan, input_data)
+        else:
+            with self.recorder.span(
+                f"plan:{plan.workflow_id}",
+                category="plan",
+                attrs={"backend": "mpi", "ranks": self.num_ranks},
+            ) as root:
+                self._obs_root = root
+                try:
+                    run, perf_slots, fault_report = self._execute_spmd(plan, input_data)
+                finally:
+                    self._obs_root = None
         # each rank returns {partition_id: Dataset}; merge in partition order
         merged: dict[int, Dataset] = {}
         for rank_out in run.results:
@@ -252,6 +334,7 @@ class MPIRuntime(RecoveringRuntimeMixin):
         extra: dict[str, Any] = {"perf": PerfCounters.merge_ranks(perf_slots).summary()}
         if fault_report is not None:
             extra["fault"] = fault_report
+        self._finish_observability(extra, fault_report)
         return PartitionResult(
             partitions=partitions,
             elapsed=run.elapsed,
@@ -271,8 +354,11 @@ class MPIRuntime(RecoveringRuntimeMixin):
         checkpoint: Optional[CheckpointStore] = None,
         resume: int = 0,
         fingerprint: str = "",
+        recorder: Optional["Recorder"] = None,
+        obs_root: Any = None,
     ) -> dict[int, Dataset]:
         perf = PerfCounters()
+        comm.recorder = recorder
         local: Any = _dataset_rows_per_rank(input_data, comm.rank, comm.size)
         outputs: dict[str, Any] = {}
         final: Any = None
@@ -284,11 +370,25 @@ class MPIRuntime(RecoveringRuntimeMixin):
                 final = saved["output"]
                 outputs[job.op_id] = final
                 comm.clock.merge(saved["clock"])
+                if recorder is not None:
+                    recorder.instant(
+                        f"restored:{job.op_id}", category="checkpoint",
+                        rank=comm.rank, clock=comm.clock,
+                    )
                 continue
             source = SerialRuntime._job_input(job, i, plan, outputs, local)
             comm.check_fault(i, "before")
             self._charge_job_overhead(comm)
-            with perf.phase(job.operator_name.lower(), clock=comm.clock):
+            span = (
+                recorder.span(
+                    job.op_id, category="job", rank=comm.rank, clock=comm.clock,
+                    parent=obs_root,
+                    attrs={"job_index": i, "operator": job.operator_name.lower()},
+                )
+                if recorder is not None
+                else nullcontext()
+            )
+            with perf.phase(job.operator_name.lower(), clock=comm.clock), span:
                 final = self._run_job(comm, job, source, perf)
             outputs[job.op_id] = final
             # an "after" crash fires before the checkpoint commits, so the
@@ -391,7 +491,15 @@ class MPIRuntime(RecoveringRuntimeMixin):
                 chunk = stream.take(idx)
                 perf.count_move(len(idx), chunk.nbytes)
                 outboxes[p % comm.size].append((p, int(global_idx[idx[0]]), chunk))
-            inboxes = comm.alltoall(outboxes)
+            if comm.recorder is not None:
+                with comm.recorder.span(
+                    "distribute-shuffle", category="shuffle",
+                    rank=comm.rank, clock=comm.clock,
+                    attrs={"stream": stream_idx, "records": n_local},
+                ):
+                    inboxes = comm.alltoall(outboxes)
+            else:
+                inboxes = comm.alltoall(outboxes)
             for box in inboxes:
                 for p, first_idx, chunk in box:
                     per_partition.setdefault(p, []).append((stream_idx, first_idx, chunk))
@@ -443,9 +551,17 @@ class MPIRuntime(RecoveringRuntimeMixin):
     ) -> Dataset:
         """Ship each entry to ``owners[i]``; receive in source-rank order."""
         outboxes = [data.take(idx) for idx in bucketize(owners, comm.size)]
+        nbytes = sum(b.nbytes for b in outboxes)
         if perf is not None:
-            perf.count_move(len(owners), sum(b.nbytes for b in outboxes))
-        inboxes = comm.alltoall(outboxes)
+            perf.count_move(len(owners), nbytes)
+        if comm.recorder is not None:
+            with comm.recorder.span(
+                "shuffle", category="shuffle", rank=comm.rank, clock=comm.clock,
+                attrs={"records": len(owners), "nbytes": nbytes},
+            ):
+                inboxes = comm.alltoall(outboxes)
+        else:
+            inboxes = comm.alltoall(outboxes)
         flats = [b.to_flat() for b in inboxes if len(b)]
         if not flats:
             return data.take(np.empty(0, dtype=np.int64)).to_flat()

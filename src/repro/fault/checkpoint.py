@@ -33,18 +33,23 @@ class CheckpointStore:
     """Interface: a key/value store for job-output snapshots."""
 
     def save(self, key: str, value: Any) -> None:
+        """Persist ``value`` under ``key``, overwriting any prior snapshot."""
         raise NotImplementedError
 
     def load(self, key: str) -> Any:
+        """Return the snapshot under ``key``; FaultToleranceError if absent."""
         raise NotImplementedError
 
     def contains(self, key: str) -> bool:
+        """Whether a snapshot exists under ``key``."""
         raise NotImplementedError
 
     def keys(self) -> list[str]:
+        """All stored keys, sorted."""
         raise NotImplementedError
 
     def clear(self) -> None:
+        """Drop every stored snapshot."""
         raise NotImplementedError
 
     def __contains__(self, key: str) -> bool:
@@ -62,11 +67,13 @@ class MemoryCheckpointStore(CheckpointStore):
         self._data: dict[str, bytes] = {}
 
     def save(self, key: str, value: Any) -> None:
+        """Pickle ``value`` into the in-memory map under ``key``."""
         blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
         with self._lock:
             self._data[key] = blob
 
     def load(self, key: str) -> Any:
+        """Unpickle the snapshot under ``key``; error if absent."""
         with self._lock:
             try:
                 blob = self._data[key]
@@ -75,14 +82,17 @@ class MemoryCheckpointStore(CheckpointStore):
         return pickle.loads(blob)
 
     def contains(self, key: str) -> bool:
+        """Whether a snapshot exists under ``key``."""
         with self._lock:
             return key in self._data
 
     def keys(self) -> list[str]:
+        """All stored keys, sorted."""
         with self._lock:
             return sorted(self._data)
 
     def clear(self) -> None:
+        """Drop every stored snapshot."""
         with self._lock:
             self._data.clear()
 
@@ -112,6 +122,7 @@ class DiskCheckpointStore(CheckpointStore):
         )
 
     def save(self, key: str, value: Any) -> None:
+        """Write ``value`` to a temp file, then atomically rename into place."""
         path = self._path(key)
         tmp = f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
         with open(tmp, "wb") as fh:
@@ -119,6 +130,7 @@ class DiskCheckpointStore(CheckpointStore):
         os.replace(tmp, path)
 
     def load(self, key: str) -> Any:
+        """Unpickle the snapshot file under ``key``; error if absent."""
         try:
             with open(self._path(key), "rb") as fh:
                 return pickle.load(fh)
@@ -126,9 +138,11 @@ class DiskCheckpointStore(CheckpointStore):
             raise FaultToleranceError(f"no checkpoint under key {key!r}") from None
 
     def contains(self, key: str) -> bool:
+        """Whether a snapshot file exists under ``key``."""
         return os.path.exists(self._path(key))
 
     def keys(self) -> list[str]:
+        """All stored keys (decoded from their filenames), sorted."""
         names = []
         for name in os.listdir(self.directory):
             if name.endswith(self._SUFFIX):
@@ -136,6 +150,7 @@ class DiskCheckpointStore(CheckpointStore):
         return sorted(names)
 
     def clear(self) -> None:
+        """Delete every checkpoint file in the directory."""
         for name in os.listdir(self.directory):
             if name.endswith(self._SUFFIX):
                 os.unlink(os.path.join(self.directory, name))

@@ -33,6 +33,7 @@ def execute_with_recovery(
     retry: Optional[RetryPolicy] = None,
     injector: Optional[FaultInjector] = None,
     seed: int = 0,
+    recorder: Optional[Any] = None,
 ) -> tuple[Any, dict[str, Any]]:
     """Run ``attempt_fn`` until it survives; return ``(result, fault_report)``.
 
@@ -58,6 +59,11 @@ def execute_with_recovery(
             result = attempt_fn(resume, backoff_total)
         except MPIError as exc:
             failures.append(f"attempt {attempts}: {exc!r}")
+            if recorder is not None:
+                recorder.instant(
+                    f"attempt {attempts} failed: {exc}", category="retry",
+                    attrs={"attempt": attempts},
+                )
             if not retry.should_retry(attempts):
                 raise FaultToleranceError(
                     f"workflow {plan.workflow_id!r} still failing after "

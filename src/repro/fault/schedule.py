@@ -86,6 +86,7 @@ class FaultSpec:
 
     @property
     def is_message_fault(self) -> bool:
+        """Whether this fault fires at the fabric (drop/duplicate/delay/corrupt)."""
         return self.kind in MESSAGE_KINDS
 
     def matches_link(self, src: int, dst: int) -> bool:
@@ -165,10 +166,12 @@ class FaultSchedule:
 
     @property
     def crash_specs(self) -> tuple[tuple[int, FaultSpec], ...]:
+        """(index, spec) pairs for the rank-crash faults."""
         return tuple((i, s) for i, s in enumerate(self.specs) if s.kind == "crash")
 
     @property
     def straggler_specs(self) -> tuple[tuple[int, FaultSpec], ...]:
+        """(index, spec) pairs for the compute-slowdown faults."""
         return tuple((i, s) for i, s in enumerate(self.specs) if s.kind == "straggler")
 
     @classmethod

@@ -49,12 +49,26 @@ KVInput = Union[Sequence[KV], KVBatch]
 class MRMPIEngine:
     """MapReduce primitives for one rank of an SPMD run."""
 
-    def __init__(self, comm: Communicator, perf: Optional[PerfCounters] = None) -> None:
+    def __init__(
+        self,
+        comm: Communicator,
+        perf: Optional[PerfCounters] = None,
+        recorder: Optional[Any] = None,
+    ) -> None:
         self.comm = comm
         #: optional perf-counter sink (records / bytes moved by shuffles)
         self.perf = perf
+        #: optional observability recorder (spans around each shuffle)
+        self.recorder = recorder
         #: jobs this engine has started (fault-injection job boundary index)
         self.jobs_run = 0
+
+    def _shuffle_span(self, records: int, nbytes: int):
+        return self.recorder.span(
+            "shuffle", category="shuffle",
+            rank=self.comm.rank, clock=self.comm.clock,
+            attrs={"records": records, "nbytes": nbytes},
+        )
 
     # -- cost charging -------------------------------------------------------
 
@@ -150,14 +164,22 @@ class MRMPIEngine:
             outboxes_b = [kv.take(idx) for idx in bucketize(owners, size)]
             if self.perf is not None:
                 self.perf.count_move(len(kv), kv.nbytes)
-            inboxes_b = self.comm.alltoall(outboxes_b)
+            if self.recorder is not None:
+                with self._shuffle_span(len(kv), kv.nbytes):
+                    inboxes_b = self.comm.alltoall(outboxes_b)
+            else:
+                inboxes_b = self.comm.alltoall(outboxes_b)
             return concat_batches(inboxes_b)
         outboxes: list[list[KV]] = [[] for _ in range(size)]
         for k, v in kv:
             outboxes[partitioner(k) % size].append((k, v))
         if self.perf is not None:
             self.perf.count_move(len(kv), 0)
-        inboxes = self.comm.alltoall(outboxes)
+        if self.recorder is not None:
+            with self._shuffle_span(len(kv), 0):
+                inboxes = self.comm.alltoall(outboxes)
+        else:
+            inboxes = self.comm.alltoall(outboxes)
         return [pair for box in inboxes for pair in box]
 
     def group(self, kv: KVInput) -> Union[list[tuple[Any, list[Any]]], GroupedKVBatch]:

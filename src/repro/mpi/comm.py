@@ -82,6 +82,10 @@ class Communicator:
         self._rank_map = list(rank_map) if rank_map is not None else list(range(fabric.size))
         self._coord_seq = 0
         self.injector = injector
+        #: optional :class:`~repro.obs.span.Recorder` observing this rank's
+        #: charge points (compute seconds, shuffle bytes, idle at barriers);
+        #: ``None`` keeps every hook a single attribute test
+        self.recorder: Optional[Any] = None
 
     # -- introspection -------------------------------------------------------
 
@@ -115,6 +119,8 @@ class Communicator:
         """
         if self.injector is not None:
             seconds = self.injector.scale_compute(self.world_rank(), seconds)
+        if self.recorder is not None and seconds > 0.0:
+            self.recorder.count("compute.virtual_s", seconds, rank=self.world_rank())
         self.clock.advance(seconds)
 
     # -- fault-injection hook ---------------------------------------------------
@@ -131,17 +137,33 @@ class Communicator:
 
     def _charge_send(self, nbytes: int, serialized: bool) -> float:
         """Advance the sender clock for send-side overhead; return send timestamp."""
+        if self.recorder is not None:
+            self.recorder.count("comm.sent_bytes", nbytes, rank=self.world_rank())
+            self.recorder.count("comm.sent_messages", 1, rank=self.world_rank())
         if self.cluster is not None and serialized:
             self.clock.advance(self.cluster.cost.pack(nbytes))
         return self.clock.now
 
     def _charge_recv(self, msg: Message, serialized: bool) -> None:
-        """Merge arrival time into the receiver clock."""
+        """Merge arrival time into the receiver clock.
+
+        When a recorder is attached, the forward clock jump of the Lamport
+        merge — how long this rank would have sat blocked waiting for the
+        message — is charged to the ``idle.barrier_s`` or ``idle.recv_s``
+        counter, which is where the timeline's "% idle at barriers" comes
+        from.
+        """
         if self.cluster is None:
             return
         src_world = self._rank_map[msg.source]
         dst_world = self._rank_map[self.rank]
         arrival = msg.timestamp + self.cluster.transfer_time(msg.nbytes, src_world, dst_world)
+        if self.recorder is not None:
+            wait = arrival - self.clock.now
+            if wait > 0.0:
+                kind = "idle.barrier_s" if msg.tag == _TAG_BARRIER else "idle.recv_s"
+                self.recorder.count(kind, wait, rank=self.world_rank())
+            self.recorder.count("comm.recv_bytes", msg.nbytes, rank=self.world_rank())
         self.clock.merge(arrival)
         if serialized:
             self.clock.advance(self.cluster.cost.pack(msg.nbytes))
@@ -511,7 +533,7 @@ class Communicator:
             return None
         group_fabric = next(f for d in fabrics.values() if d is not None for c, f in [d] if c == color)
         new_rank = members.index(self.rank)
-        return Communicator(
+        sub = Communicator(
             new_rank,
             group_fabric,
             cluster=self.cluster,
@@ -519,6 +541,8 @@ class Communicator:
             rank_map=[self._rank_map[r] for r in members],
             injector=self.injector,
         )
+        sub.recorder = self.recorder
+        return sub
 
     def dup(self) -> "Communicator":
         """Duplicate the communicator (fresh fabric, same membership order)."""

@@ -1,0 +1,83 @@
+"""Adapters folding the older diagnostic streams into one recorder.
+
+Before this layer existed the repo had three disconnected windows into a
+run: the virtual-time :class:`~repro.cluster.trace.Tracer`, the
+:class:`~repro.mapreduce.columnar.PerfCounters` snapshots, and the fault
+report dict in ``PartitionResult.extra["fault"]``.  Each adapter here maps
+one of those onto the :class:`~repro.obs.span.Recorder` vocabulary (spans,
+instants, counters), so a single exported artifact tells the whole story.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.obs.span import Recorder
+
+
+def record_tracer(recorder: Recorder, tracer: Any, parent: Any = None) -> None:
+    """Fold a :class:`~repro.cluster.trace.Tracer`'s timelines into spans.
+
+    Compute/send/recv events become virtual-time spans on their rank's
+    track; zero-duration ``mark`` events become instants.  Byte counts ride
+    along as ``trace.sent_bytes`` / ``trace.recv_bytes`` counters.
+    """
+    for timeline in tracer.timelines:
+        for event in timeline.events:
+            if event.kind == "mark":
+                recorder.instant(
+                    event.label or "mark",
+                    category="trace",
+                    rank=event.rank,
+                    ts_virtual=event.start,
+                )
+                continue
+            recorder.record_span(
+                name=event.label or event.kind,
+                category=event.kind,
+                rank=event.rank,
+                start_virtual=event.start,
+                end_virtual=event.end,
+                parent=parent,
+                attrs={"nbytes": event.nbytes} if event.nbytes else None,
+            )
+            if event.kind == "send" and event.nbytes:
+                recorder.count("trace.sent_bytes", event.nbytes, rank=event.rank)
+            elif event.kind == "recv" and event.nbytes:
+                recorder.count("trace.recv_bytes", event.nbytes, rank=event.rank)
+
+
+def record_perf(recorder: Recorder, perf_summary: Optional[dict[str, Any]]) -> None:
+    """Fold a :meth:`PerfCounters.summary` dict into counters and gauges.
+
+    ``records_moved`` / ``bytes_moved`` become run-level counters;
+    each phase's wall and virtual totals become ``perf.phase.*`` gauges.
+    """
+    if not perf_summary:
+        return
+    recorder.count("shuffle.records_moved", perf_summary.get("records_moved", 0))
+    recorder.count("shuffle.bytes_moved", perf_summary.get("bytes_moved", 0))
+    for name, times in perf_summary.get("phases", {}).items():
+        recorder.gauge(f"perf.phase.{name}.wall_s", times["wall_s"])
+        recorder.gauge(f"perf.phase.{name}.virtual_s", times["virtual_s"])
+
+
+def record_fault_report(recorder: Recorder, report: Optional[dict[str, Any]]) -> None:
+    """Fold a ``PartitionResult.extra['fault']`` report into the stream.
+
+    Attempts and virtual backoff become counters and every injected-fault
+    firing becomes a driver-track instant, with the injector's per-kind
+    counts under ``fault.injected.*``.  Failed attempts are *not* replayed
+    here — the recovery loop records those live as ``retry`` instants.
+    """
+    if not report:
+        return
+    recorder.count("fault.attempts", report.get("attempts", 1))
+    recorder.count("fault.backoff_virtual_s", report.get("backoff_virtual_s", 0.0))
+    recorder.count("fault.recovered_jobs", len(report.get("recovered_jobs", [])))
+    injected = report.get("injected")
+    if injected:
+        for kind, n in injected.get("counts", {}).items():
+            recorder.count(f"fault.injected.{kind}", n)
+        for line in injected.get("fired", []):
+            recorder.instant(line, category="fault.injected")

@@ -1,0 +1,99 @@
+"""Tests for the Markdown link checker, plus the repo-wide link gate.
+
+``tools/check_links.py`` is what the CI docs job runs; the first test
+here runs it over the real repository so a broken cross-reference fails
+tier-1 locally too.  The rest exercise the checker itself on synthetic
+trees, so we know a green run means "all links valid" and not "checker
+matched nothing".
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+CHECKER = REPO_ROOT / "tools" / "check_links.py"
+
+sys.path.insert(0, str(CHECKER.parent))
+
+from check_links import check_repo, github_slug, heading_anchors  # noqa: E402
+
+
+def test_repo_markdown_links_are_valid():
+    """The real repo has no broken relative links or anchors."""
+    errors = check_repo(REPO_ROOT)
+    assert errors == [], "\n".join(errors)
+
+
+def test_checker_scans_a_meaningful_number_of_links(capsys):
+    """Guard against silent no-op: the repo docs contain many links."""
+    proc = subprocess.run(
+        [sys.executable, str(CHECKER), "--verbose"],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 0, proc.stderr
+    # e.g. "checked 51 relative links across 16 files (...)"
+    words = proc.stdout.split()
+    assert int(words[1]) >= 20, proc.stdout
+
+
+def test_detects_missing_file(tmp_path):
+    """A link to a file that does not exist is reported with its line."""
+    (tmp_path / "a.md").write_text("see [other](missing.md)\n")
+    errors = check_repo(tmp_path)
+    assert len(errors) == 1
+    assert "a.md:1" in errors[0] and "missing.md" in errors[0]
+
+
+def test_detects_broken_anchor_cross_file(tmp_path):
+    """Anchors are validated against the target file's headings."""
+    (tmp_path / "a.md").write_text(
+        "[ok](b.md#real-section)\n[bad](b.md#no-such-section)\n"
+    )
+    (tmp_path / "b.md").write_text("# Real section\n")
+    errors = check_repo(tmp_path)
+    assert len(errors) == 1
+    assert "no-such-section" in errors[0]
+
+
+def test_detects_broken_anchor_same_file(tmp_path):
+    """Bare '#anchor' links resolve within the containing file."""
+    (tmp_path / "a.md").write_text("# Top\n\n[up](#top)\n[bad](#nope)\n")
+    errors = check_repo(tmp_path)
+    assert len(errors) == 1
+    assert "#nope" in errors[0]
+
+
+def test_ignores_links_in_code(tmp_path):
+    """Fenced blocks and inline code spans are not link sources."""
+    (tmp_path / "a.md").write_text(
+        "```\n[not a link](nowhere.md)\n```\n"
+        "and `[inline](gone.md)` neither\n"
+    )
+    assert check_repo(tmp_path) == []
+
+
+def test_external_links_are_skipped(tmp_path):
+    """http(s)/mailto links are never resolved against the filesystem."""
+    (tmp_path / "a.md").write_text(
+        "[site](https://example.com/x) [mail](mailto:a@b.c)\n"
+    )
+    assert check_repo(tmp_path) == []
+
+
+def test_github_slugging_rules(tmp_path):
+    """Slugs: lowercase, punctuation dropped, spaces to dashes, dedup -N."""
+    seen = {}
+    assert github_slug("Reading the critical path", seen) == (
+        "reading-the-critical-path"
+    )
+    assert github_slug("What's `code` here?", {}) == "whats-code-here"
+    dup = {}
+    assert github_slug("Setup", dup) == "setup"
+    assert github_slug("Setup", dup) == "setup-1"
+
+    md = tmp_path / "h.md"
+    md.write_text("# One Two\n\n## `spans` & metrics\n")
+    assert heading_anchors(md) == {"one-two", "spans--metrics"}

@@ -1,0 +1,76 @@
+"""Adapters folding Tracer, PerfCounters and fault reports into a recorder."""
+
+from repro.cluster.trace import Tracer
+from repro.obs import Recorder, record_fault_report, record_perf, record_tracer
+
+
+class TestRecordTracer:
+    def test_events_become_spans_and_marks_become_instants(self):
+        tracer = Tracer(size=2)
+        tracer.record(0, "compute", 0.0, 1.0, label="sort")
+        tracer.record(0, "send", 1.0, 1.2, label="->1", nbytes=64)
+        tracer.record(1, "recv", 1.0, 1.2, label="<-0", nbytes=64)
+        tracer.mark(1, 1.5, "done")
+        rec = Recorder()
+        record_tracer(rec, tracer)
+        assert [(s.name, s.category, s.rank) for s in rec.spans] == [
+            ("sort", "compute", 0),
+            ("->1", "send", 0),
+            ("<-0", "recv", 1),
+        ]
+        assert rec.spans[1].attrs == {"nbytes": 64}
+        assert rec.instants[0].name == "done"
+        assert rec.instants[0].ts_virtual == 1.5
+        assert rec.counter_total("trace.sent_bytes") == 64
+        assert rec.counter_total("trace.recv_bytes") == 64
+
+    def test_parent_handle_adopts_trace_spans(self):
+        tracer = Tracer(size=1)
+        tracer.record(0, "compute", 0.0, 1.0)
+        rec = Recorder()
+        with rec.span("root") as root:
+            record_tracer(rec, tracer, parent=root)
+        assert rec.spans[0].parent_id == root.span_id
+
+
+class TestRecordPerf:
+    def test_summary_becomes_counters_and_gauges(self):
+        rec = Recorder()
+        record_perf(rec, {
+            "records_moved": 10, "bytes_moved": 800,
+            "phases": {"sort": {"wall_s": 0.5, "virtual_s": 1.5}},
+        })
+        assert rec.counter_total("shuffle.records_moved") == 10
+        assert rec.gauges[("perf.phase.sort.wall_s", None)] == 0.5
+        assert rec.gauges[("perf.phase.sort.virtual_s", None)] == 1.5
+
+    def test_none_summary_is_a_noop(self):
+        rec = Recorder()
+        record_perf(rec, None)
+        assert not rec.counters
+
+
+class TestRecordFaultReport:
+    def test_report_becomes_counters_and_instants(self):
+        rec = Recorder()
+        record_fault_report(rec, {
+            "attempts": 3,
+            "backoff_virtual_s": 0.75,
+            "recovered_jobs": ["sort"],
+            "failures": ["attempt 1: MPIError", "attempt 2: MPIError"],
+            "injected": {
+                "counts": {"crash": 2},
+                "fired": ["crash rank=1 job=0"],
+            },
+        })
+        assert rec.counter_total("fault.attempts") == 3
+        assert rec.counter_total("fault.backoff_virtual_s") == 0.75
+        assert rec.counter_total("fault.recovered_jobs") == 1
+        assert rec.counter_total("fault.injected.crash") == 2
+        # failures are recorded live by the recovery loop, not replayed here
+        assert [i.category for i in rec.instants] == ["fault.injected"]
+
+    def test_none_report_is_a_noop(self):
+        rec = Recorder()
+        record_fault_report(rec, None)
+        assert not rec.counters and not rec.instants

@@ -1,0 +1,78 @@
+"""The versioned metrics JSON contract (schema "papar.metrics", version 1).
+
+These tests pin the document layout: a version bump is required before any
+key here may change shape.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import METRICS_VERSION, Recorder, metrics_json, write_metrics
+
+
+def seeded_recorder():
+    rec = Recorder()
+    rec.record_span("plan:wf", "plan", rank=None, start_virtual=0.0, end_virtual=4.0)
+    rec.record_span("sort", "job", rank=0, start_virtual=0.0, end_virtual=2.5)
+    rec.record_span("distr", "job", rank=0, start_virtual=2.5, end_virtual=4.0)
+    rec.instant("crash", category="fault", rank=0, ts_virtual=1.0)
+    rec.count("comm.sent_bytes", 100, rank=0)
+    rec.count("comm.sent_bytes", 50, rank=1)
+    rec.gauge("perf.phase.sort.wall_s", 0.25)
+    for v in (1.0, 2.0, 3.0, 4.0):
+        rec.observe("shuffle_ms", v)
+    return rec
+
+
+class TestMetricsContract:
+    def test_envelope(self):
+        doc = metrics_json(seeded_recorder())
+        assert doc["schema"] == "papar.metrics"
+        assert doc["version"] == METRICS_VERSION == 1
+        assert set(doc) == {
+            "schema", "version", "time_basis", "counters",
+            "gauges", "histograms", "spans", "run",
+        }
+
+    def test_counters_carry_total_and_per_rank(self):
+        doc = metrics_json(seeded_recorder())
+        sent = doc["counters"]["comm.sent_bytes"]
+        assert sent["total"] == 150
+        assert sent["per_rank"] == {"0": 100, "1": 50}
+
+    def test_gauges_mirror_the_counter_shape(self):
+        doc = metrics_json(seeded_recorder())
+        assert doc["gauges"]["perf.phase.sort.wall_s"]["total"] == 0.25
+
+    def test_histogram_summary_statistics(self):
+        doc = metrics_json(seeded_recorder())
+        h = doc["histograms"]["shuffle_ms"]
+        assert h["count"] == 4
+        assert (h["min"], h["max"]) == (1.0, 4.0)
+        assert h["mean"] == pytest.approx(2.5)
+        assert h["p50"] == 3.0  # nearest-rank of 4 sorted samples
+        assert h["p95"] == 4.0
+
+    def test_span_rollups(self):
+        doc = metrics_json(seeded_recorder())
+        spans = doc["spans"]
+        assert spans["count"] == 3
+        assert spans["instants"] == 1
+        assert spans["makespan_virtual_s"] == 4.0
+        # rank 0's two job spans: 2.5 + 1.5 simulated seconds busy
+        assert spans["per_rank_busy_virtual_s"]["0"] == pytest.approx(4.0)
+
+    def test_run_block_passes_through(self):
+        doc = metrics_json(seeded_recorder(), run={"backend": "mpi", "ranks": 8})
+        assert doc["run"] == {"backend": "mpi", "ranks": 8}
+        assert metrics_json(seeded_recorder())["run"] == {}
+
+    def test_time_basis_fallback(self):
+        assert metrics_json(seeded_recorder())["time_basis"] == "virtual"
+        assert metrics_json(Recorder())["time_basis"] == "wall"
+
+    def test_written_file_round_trips(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        returned = write_metrics(str(path), seeded_recorder(), run={"ranks": 2})
+        assert json.loads(path.read_text()) == returned

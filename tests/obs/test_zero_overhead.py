@@ -1,0 +1,59 @@
+"""The zero-overhead guarantee: no recorder, no ``repro.obs`` import.
+
+The observability layer must cost nothing when not enabled.  The strongest
+cheap proof is that the package is never even imported on the plain path —
+every hook in the runtimes, communicator, engine and fault runner is behind
+an ``if recorder is not None`` test, and all obs imports are lazy.  A fresh
+subprocess makes the check immune to whatever this test session imported.
+"""
+
+import subprocess
+import sys
+import textwrap
+
+PLAIN_RUN = textwrap.dedent(
+    """
+    import sys
+
+    import numpy as np
+
+    from repro import PaPar
+    from repro.cluster import ClusterModel, INFINIBAND_QDR
+    from repro.config import BLAST_INPUT_XML
+    from repro.config.examples import BLAST_WORKFLOW_XML
+    from repro.core.dataset import Dataset
+    from repro.fault import MemoryCheckpointStore, RetryPolicy
+    from repro.formats import BLAST_INDEX_SCHEMA
+
+    papar = PaPar()
+    papar.register_input(BLAST_INPUT_XML)
+    rows = [(i, 40 + i, i, 40) for i in range(60)]
+    data = Dataset.from_rows(BLAST_INDEX_SCHEMA, rows)
+    args = {"input_path": "/in", "output_path": "/out", "num_partitions": 3}
+    cluster = ClusterModel(num_nodes=2, ranks_per_node=2, network=INFINIBAND_QDR)
+    for backend in ("serial", "mpi", "mapreduce"):
+        papar.run(BLAST_WORKFLOW_XML, args, data=data, backend=backend,
+                  num_ranks=1 if backend == "serial" else 4,
+                  cluster=None if backend == "serial" else cluster)
+    # fault-tolerant path too: the recovery loop takes recorder=None
+    papar.run(BLAST_WORKFLOW_XML, args, data=data, backend="mpi", num_ranks=4,
+              cluster=cluster, faults="crash:rank=1,job=0,when=before",
+              checkpoint=MemoryCheckpointStore(),
+              retry=RetryPolicy(max_attempts=4, base_delay_s=0.01),
+              deadlock_grace=30.0)
+    leaked = sorted(m for m in sys.modules if m.startswith("repro.obs"))
+    if leaked:
+        print("LEAKED:", leaked)
+        sys.exit(1)
+    print("CLEAN")
+    """
+)
+
+
+def test_plain_runs_never_import_the_obs_package():
+    proc = subprocess.run(
+        [sys.executable, "-c", PLAIN_RUN],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "CLEAN" in proc.stdout

@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repository's documentation.
+
+Walks every ``*.md`` file in the repo (skipping ``.git`` and generated
+benchmark artifacts), extracts inline links and images, and validates:
+
+* **relative file links** resolve to an existing file or directory,
+  relative to the Markdown file that contains them;
+* **anchors** (``#section-title``, bare or appended to a file link) match
+  a heading in the target file, using GitHub's slugging rules;
+* external links (``http(s)://``, ``mailto:``) are *not* fetched — they
+  are counted and skipped, so the checker runs offline and deterministic.
+
+Links inside fenced code blocks and inline code spans are ignored.
+Exits non-zero listing every broken link as ``file:line: message`` so CI
+surfaces them like compiler errors.
+
+Usage::
+
+    python tools/check_links.py [--root REPO_ROOT] [--verbose]
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# [text](target) and ![alt](target), with an optional "title" suffix.
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)<>\s]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+_FENCE_RE = re.compile(r"^\s*(?:```|~~~)")
+_INLINE_CODE_RE = re.compile(r"`[^`]*`")
+_HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+_SKIP_DIRS = {".git", "__pycache__", "results", ".pytest_cache", "node_modules"}
+
+
+def github_slug(heading: str, seen: dict[str, int]) -> str:
+    """Return the GitHub anchor slug for *heading*, deduplicating via *seen*."""
+    # Strip inline code/links down to their text, then apply GitHub's rules:
+    # lowercase, drop punctuation, spaces and hyphens preserved as hyphens.
+    text = _INLINE_CODE_RE.sub(lambda m: m.group(0).strip("`"), heading)
+    text = re.sub(r"!?\[([^\]]*)\]\([^)]*\)", r"\1", text)
+    slug = re.sub(r"[^\w\- ]", "", text.lower(), flags=re.UNICODE)
+    slug = slug.replace(" ", "-")
+    count = seen.get(slug, 0)
+    seen[slug] = count + 1
+    return slug if count == 0 else f"{slug}-{count}"
+
+
+def heading_anchors(md_file: Path) -> set[str]:
+    """Collect the set of valid anchor slugs for *md_file*."""
+    anchors: set[str] = set()
+    seen: dict[str, int] = {}
+    in_fence = False
+    for line in md_file.read_text(encoding="utf-8").splitlines():
+        if _FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = _HEADING_RE.match(line)
+        if m:
+            anchors.add(github_slug(m.group(2), seen))
+        # Explicit HTML anchors also count: <a name="x"> / id="x".
+        for attr in re.finditer(r"(?:name|id)\s*=\s*\"([^\"]+)\"", line):
+            anchors.add(attr.group(1))
+    return anchors
+
+
+def iter_links(md_file: Path):
+    """Yield ``(line_number, target)`` for every link outside code."""
+    in_fence = False
+    for lineno, line in enumerate(
+        md_file.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if _FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        stripped = _INLINE_CODE_RE.sub("", line)
+        for m in _LINK_RE.finditer(stripped):
+            yield lineno, m.group(1)
+
+
+def find_markdown_files(root: Path) -> list[Path]:
+    """Return every Markdown file under *root*, skipping generated dirs."""
+    files = []
+    for path in sorted(root.rglob("*.md")):
+        if any(part in _SKIP_DIRS for part in path.parts):
+            continue
+        files.append(path)
+    return files
+
+
+def check_repo(root: Path, verbose: bool = False) -> list[str]:
+    """Check all Markdown files under *root*; return broken-link messages."""
+    md_files = find_markdown_files(root)
+    anchor_cache: dict[Path, set[str]] = {}
+    errors: list[str] = []
+    checked = external = 0
+
+    def anchors_of(path: Path) -> set[str]:
+        if path not in anchor_cache:
+            anchor_cache[path] = heading_anchors(path)
+        return anchor_cache[path]
+
+    for md in md_files:
+        rel_md = md.relative_to(root)
+        for lineno, target in iter_links(md):
+            if target.startswith(_EXTERNAL_PREFIXES):
+                external += 1
+                continue
+            checked += 1
+            if target.startswith("#"):
+                anchor = target[1:]
+                if anchor not in anchors_of(md):
+                    errors.append(
+                        f"{rel_md}:{lineno}: broken anchor '#{anchor}'"
+                    )
+                continue
+            path_part, _, anchor = target.partition("#")
+            resolved = (md.parent / path_part).resolve()
+            if not resolved.exists():
+                errors.append(
+                    f"{rel_md}:{lineno}: broken link '{target}' "
+                    f"(no such file: {path_part})"
+                )
+                continue
+            if anchor:
+                if resolved.suffix.lower() != ".md":
+                    errors.append(
+                        f"{rel_md}:{lineno}: anchor on non-Markdown "
+                        f"target '{target}'"
+                    )
+                elif anchor not in anchors_of(resolved):
+                    errors.append(
+                        f"{rel_md}:{lineno}: broken anchor '{target}'"
+                    )
+    if verbose:
+        print(
+            f"checked {checked} relative links across {len(md_files)} files "
+            f"({external} external links skipped)"
+        )
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent,
+        help="repository root to scan (default: this repo)",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="print a summary line"
+    )
+    ns = parser.parse_args(argv)
+    errors = check_repo(ns.root.resolve(), verbose=ns.verbose)
+    for err in errors:
+        print(err, file=sys.stderr)
+    if errors:
+        print(f"{len(errors)} broken link(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
