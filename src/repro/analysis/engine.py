@@ -68,10 +68,15 @@ class Linter:
         self,
         schemas: Optional[dict[str, RecordSchema]] = None,
         ranks: Optional[int] = None,
+        memory_budget: Optional[str] = None,
+        assume_records: Optional[int] = None,
     ) -> None:
         #: schemas registered out-of-band (e.g. on a PaPar instance)
         self.schemas: dict[str, RecordSchema] = dict(schemas or {})
         self.ranks = ranks
+        #: declared memory budget / assumed record count (PAP06x rules)
+        self.memory_budget = memory_budget
+        self.assume_records = assume_records
 
     # -- public API ----------------------------------------------------------
 
@@ -143,6 +148,8 @@ class Linter:
             input_files=input_files,
             args={k: str(v) for k, v in (args or {}).items()},
             ranks=self.ranks,
+            memory_budget=self.memory_budget,
+            assume_records=self.assume_records,
         )
 
         # -- PAP051: supplied input configs nothing references ----------
@@ -249,9 +256,14 @@ def lint_workflow(
     schemas: Optional[dict[str, RecordSchema]] = None,
     ranks: Optional[int] = None,
     do_plan: bool = True,
+    memory_budget: Optional[str] = None,
+    assume_records: Optional[int] = None,
 ) -> LintResult:
     """Convenience one-call form of :class:`Linter`."""
-    return Linter(schemas=schemas, ranks=ranks).lint(
+    return Linter(
+        schemas=schemas, ranks=ranks,
+        memory_budget=memory_budget, assume_records=assume_records,
+    ).lint(
         workflow_xml, filename=filename, inputs=inputs, args=args, do_plan=do_plan
     )
 
@@ -263,8 +275,13 @@ def lint_files(
     schemas: Optional[dict[str, RecordSchema]] = None,
     ranks: Optional[int] = None,
     do_plan: bool = True,
+    memory_budget: Optional[str] = None,
+    assume_records: Optional[int] = None,
 ) -> LintResult:
     """Convenience one-call form over files on disk."""
-    return Linter(schemas=schemas, ranks=ranks).lint_paths(
+    return Linter(
+        schemas=schemas, ranks=ranks,
+        memory_budget=memory_budget, assume_records=assume_records,
+    ).lint_paths(
         workflow_path, input_paths, args=args, do_plan=do_plan
     )

@@ -319,6 +319,10 @@ class LintContext:
     plan_error: Optional[str] = None
     #: simulated cluster size the user intends to run with (optional)
     ranks: Optional[int] = None
+    #: declared per-rank memory budget spec (e.g. "64MB"), when given
+    memory_budget: Optional[str] = None
+    #: assumed input record count for budget sizing (with memory_budget)
+    assume_records: Optional[int] = None
 
     def diag(
         self,

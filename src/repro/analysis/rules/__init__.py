@@ -106,6 +106,12 @@ CATALOG: dict[str, RuleSpec] = {
               "an input-data configuration fails to parse or validate"),
         _spec("PAP051", "input-config-unused", Severity.WARNING,
               "an input-data configuration no workflow argument references"),
+        # -- out-of-core sizing (PAP06x) --------------------------------------
+        _spec("PAP060", "input-exceeds-memory-budget", Severity.WARNING,
+              "the estimated input size exceeds the declared memory budget "
+              "and no spill-capable operator is in the workflow"),
+        _spec("PAP061", "invalid-memory-budget", Severity.ERROR,
+              "the declared --memory-budget does not parse as a size"),
         # -- analyzer self-diagnosis ----------------------------------------
         _spec("PAP099", "internal-error", Severity.ERROR,
               "a lint rule crashed; please report the configuration"),
@@ -129,7 +135,13 @@ def all_codes() -> list[str]:
 
 def _load() -> None:
     """Import the rule modules so their checkers register."""
-    from repro.analysis.rules import paths, plan, references, schema_flow  # noqa: F401
+    from repro.analysis.rules import (  # noqa: F401
+        ooc,
+        paths,
+        plan,
+        references,
+        schema_flow,
+    )
 
 
 _load()

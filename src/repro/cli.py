@@ -80,6 +80,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="intended rank count (enables cluster-fit rules)")
     p_lint.add_argument("--no-plan", action="store_true",
                         help="skip the resolved-plan rule family (PAP04x)")
+    p_lint.add_argument("--memory-budget", default=None, metavar="SIZE",
+                        help="declared per-rank memory budget (e.g. 64MB); "
+                             "enables the out-of-core rules (PAP06x)")
+    p_lint.add_argument("--assume-records", type=int, default=None, metavar="N",
+                        help="assumed input record count for budget sizing "
+                             "(with --memory-budget)")
 
     p_plan = sub.add_parser("plan", help="print the planned job sequence")
     common(p_plan)
@@ -123,6 +129,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--timeline", action="store_true",
                        help="print a per-rank Gantt chart and the "
                             "critical-path summary")
+    p_run.add_argument("--memory-budget", default=None, metavar="SIZE",
+                       help="bound each rank's working set (e.g. 64MB); "
+                            "the input streams in chunks and oversized "
+                            "shuffles/sorts spill to run files")
     return parser
 
 
@@ -137,7 +147,11 @@ def _load(ns: argparse.Namespace) -> tuple[PaPar, object, dict]:
 def cmd_lint(ns: argparse.Namespace) -> int:
     from repro.analysis.engine import Linter
 
-    result = Linter(ranks=ns.ranks).lint_paths(
+    result = Linter(
+        ranks=ns.ranks,
+        memory_budget=ns.memory_budget,
+        assume_records=ns.assume_records,
+    ).lint_paths(
         ns.workflow,
         ns.input,
         args=_parse_arg_pairs(ns.arg),
@@ -163,6 +177,7 @@ def _lint_gate(ns: argparse.Namespace, papar: PaPar) -> Optional[int]:
         ns.input_config,
         args=_parse_arg_pairs(ns.arg),
         ranks=getattr(ns, "ranks", None),
+        memory_budget=getattr(ns, "memory_budget", None),
     )
     if result.errors:
         for diag in result.errors:
@@ -231,6 +246,14 @@ def print_stats(result) -> None:
         print(f"  {'phase'.ljust(width)}  {'wall(s)':>10}  {'virtual(s)':>10}")
         for name, t in phases.items():
             print(f"  {name.ljust(width)}  {t['wall_s']:>10.4f}  {t['virtual_s']:>10.4f}")
+    spill = perf.get("spill")
+    if spill:
+        print(
+            f"  spill: {spill.get('runs_written', 0)} run(s) written, "
+            f"{spill.get('spilled_records', 0)} records / "
+            f"{_format_bytes(spill.get('spilled_bytes', 0))} spilled, "
+            f"merge fan-in {spill.get('max_merge_fanin', 0)}"
+        )
 
 
 def print_fault_report(result) -> None:
@@ -277,7 +300,8 @@ def cmd_run(ns: argparse.Namespace) -> int:
         recorder = Recorder()
         fault_tolerance["recorder"] = recorder
     out = papar.partition_files(
-        workflow, args, backend=ns.backend, num_ranks=ns.ranks, **fault_tolerance
+        workflow, args, backend=ns.backend, num_ranks=ns.ranks,
+        memory_budget=ns.memory_budget, **fault_tolerance
     )
     print(f"wrote {out.num_partitions} partition(s):")
     for path, part in zip(out.output_paths, out.partitions):

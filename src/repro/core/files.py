@@ -16,7 +16,6 @@ from dataclasses import dataclass, field
 from typing import Any, Optional, Union
 
 from repro.config.workflow import WorkflowSpec
-from repro.core.dataset import Dataset
 from repro.core.runtime import PartitionResult
 from repro.errors import WorkflowError
 from repro.formats.binary import write_partitions
@@ -94,6 +93,7 @@ def partition_files(
     num_ranks: int = 1,
     cluster: Optional[Any] = None,
     schema_id: Optional[str] = None,
+    memory_budget: Any = None,
     **fault_tolerance: Any,
 ) -> FilePartitionResult:
     """Read the input file, run the workflow, write the partition files.
@@ -103,6 +103,11 @@ def partition_files(
     (``faults``, ``checkpoint``, ``retry``, ``chaos_seed``,
     ``deadlock_grace``, plus an observability ``recorder``) are forwarded
     to :meth:`repro.PaPar.run`.
+
+    With a ``memory_budget``, the input file is *not* read into memory:
+    it is opened as a :class:`~repro.ooc.ChunkedDataset` and streamed in
+    budget-sized chunks by the runtimes, spilling oversized exchanges to
+    run files.
     """
     spec = papar.load_workflow(workflow) if isinstance(workflow, str) else workflow
     input_arg, output_arg = find_io_arguments(spec)
@@ -116,7 +121,15 @@ def partition_files(
             f"argument {input_arg!r} declares no input format and no schema_id given"
         )
     schema = papar.schema(fmt_id)
-    data: Dataset = papar.load_dataset(args[input_arg], fmt_id)
+    if memory_budget is not None:
+        from repro.ooc.budget import MemoryBudget
+        from repro.ooc.chunked import ChunkedDataset
+
+        data: Any = ChunkedDataset(
+            args[input_arg], schema, MemoryBudget.coerce(memory_budget)
+        )
+    else:
+        data = papar.load_dataset(args[input_arg], fmt_id)
     result = papar.run(
         spec,
         args,
@@ -124,6 +137,7 @@ def partition_files(
         backend=backend,
         num_ranks=num_ranks,
         cluster=cluster,
+        memory_budget=memory_budget,
         **fault_tolerance,
     )
     paths = write_partition_files(args[output_arg], result, schema)

@@ -85,6 +85,8 @@ class PaPar:
         inputs: Any = (),
         ranks: Optional[int] = None,
         do_plan: bool = True,
+        memory_budget: Optional[str] = None,
+        assume_records: Optional[int] = None,
     ):
         """Statically analyze a workflow configuration without executing it.
 
@@ -93,6 +95,8 @@ class PaPar:
         locations, suggested fixes — see ``docs/lint-rules.md``).  Schemas
         registered on this instance participate in the type-flow rules;
         ``inputs`` adds extra input-config XML texts for this call only.
+        A declared ``memory_budget`` (plus an optional ``assume_records``
+        input size) enables the out-of-core sizing rules (PAP06x).
         """
         from repro.analysis.engine import Linter
         from repro.config.serialize import workflow_to_xml
@@ -103,7 +107,10 @@ class PaPar:
         else:
             xml = workflow
             filename = "<workflow>"
-        return Linter(schemas=self._schemas, ranks=ranks).lint(
+        return Linter(
+            schemas=self._schemas, ranks=ranks,
+            memory_budget=memory_budget, assume_records=assume_records,
+        ).lint(
             xml,
             filename=filename,
             inputs=[(text, None) for text in inputs],
@@ -118,11 +125,16 @@ class PaPar:
         args: Optional[dict[str, Any]] = None,
         ranks: Optional[int] = None,
         do_plan: bool = True,
+        memory_budget: Optional[str] = None,
+        assume_records: Optional[int] = None,
     ):
         """Statically analyze configuration files (see :meth:`lint`)."""
         from repro.analysis.engine import Linter
 
-        return Linter(schemas=self._schemas, ranks=ranks).lint_paths(
+        return Linter(
+            schemas=self._schemas, ranks=ranks,
+            memory_budget=memory_budget, assume_records=assume_records,
+        ).lint_paths(
             os.fspath(workflow_path),
             [os.fspath(p) for p in input_paths],
             args=args,
@@ -202,7 +214,8 @@ class PaPar:
 
         Extra keyword arguments (``faults``, ``checkpoint``, ``retry``,
         ``chaos_seed``, ``deadlock_grace``) configure fault tolerance, as in
-        :meth:`run`.
+        :meth:`run`; ``memory_budget`` streams the input out-of-core
+        instead of loading it (see :meth:`run`).
         """
         from repro.core.files import partition_files as _partition_files
 
@@ -233,6 +246,7 @@ class PaPar:
         chaos_seed: int = 0,
         deadlock_grace: Optional[float] = None,
         recorder: Any = None,
+        memory_budget: Any = None,
     ) -> PartitionResult:
         """Plan (if needed) and execute a workflow over ``data``.
 
@@ -249,6 +263,12 @@ class PaPar:
         to collect the span tree, metrics, and trace events for this run
         (works on every backend; exposed on
         :attr:`PartitionResult.observability`).
+
+        Out-of-core: pass ``memory_budget`` (e.g. ``"64MB"`` or a byte
+        count) to bound every rank's working set; oversized exchanges spill
+        to run files and are merged back streaming (see
+        ``docs/out-of-core.md``).  ``None`` (the default) keeps the
+        in-memory fast path untouched.
         """
         if isinstance(workflow, WorkflowPlan):
             plan = workflow
@@ -268,16 +288,20 @@ class PaPar:
                 raise WorkflowError(
                     "fault tolerance needs an SPMD backend; use 'mpi' or 'mapreduce'"
                 )
-            return SerialRuntime(recorder=recorder).execute(plan, data)
+            return SerialRuntime(
+                recorder=recorder, memory_budget=memory_budget
+            ).execute(plan, data)
         if backend == "mpi":
             return MPIRuntime(
-                num_ranks=num_ranks, cluster=cluster, recorder=recorder, **ft
+                num_ranks=num_ranks, cluster=cluster, recorder=recorder,
+                memory_budget=memory_budget, **ft
             ).execute(plan, data)
         if backend == "mapreduce":
             from repro.core.mr_runtime import MapReduceRuntime
 
             return MapReduceRuntime(
-                num_ranks=num_ranks, cluster=cluster, recorder=recorder, **ft
+                num_ranks=num_ranks, cluster=cluster, recorder=recorder,
+                memory_budget=memory_budget, **ft
             ).execute(plan, data)
         raise WorkflowError(
             f"unknown backend {backend!r}; use 'serial', 'mpi' or 'mapreduce'"

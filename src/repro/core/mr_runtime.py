@@ -38,6 +38,7 @@ from repro.core.runtime import (
     RecoveringRuntimeMixin,
     SerialRuntime,
     _dataset_rows_per_rank,
+    policy_partition_ids,
 )
 from repro.errors import WorkflowError
 from repro.fault.checkpoint import CheckpointStore, job_key
@@ -72,6 +73,7 @@ class MapReduceRuntime(RecoveringRuntimeMixin):
         retry: Optional[RetryPolicy] = None,
         deadlock_grace: Optional[float] = None,
         recorder: Optional["Recorder"] = None,
+        memory_budget: Any = None,
     ) -> None:
         if cluster is not None and cluster.size != num_ranks:
             raise WorkflowError(
@@ -82,8 +84,16 @@ class MapReduceRuntime(RecoveringRuntimeMixin):
         self.sample_size = sample_size
         self._init_fault_tolerance(faults, chaos_seed, checkpoint, retry, deadlock_grace)
         self._init_observability(recorder)
+        self._init_ooc(memory_budget)
 
     def execute(self, plan: WorkflowPlan, input_data: Dataset) -> PartitionResult:
+        self._ooc_setup()
+        try:
+            return self._execute(plan, input_data)
+        finally:
+            self._ooc_teardown()
+
+    def _execute(self, plan: WorkflowPlan, input_data: Dataset) -> PartitionResult:
         if self.recorder is None:
             run, perf_slots, fault_report = self._execute_spmd(plan, input_data)
         else:
@@ -125,10 +135,19 @@ class MapReduceRuntime(RecoveringRuntimeMixin):
         fingerprint: str = "",
         recorder: Optional["Recorder"] = None,
         obs_root: Any = None,
+        ooc_spec: Any = None,
     ) -> dict[int, Dataset]:
         perf = PerfCounters()
         comm.recorder = recorder
+        ctx = None
+        if ooc_spec is not None:
+            from repro.ooc.budget import MemoryBudget
+            from repro.ooc.spill import OOCContext
+
+            limit, spill_dir = ooc_spec
+            ctx = OOCContext(MemoryBudget(limit), spill_dir, rank=comm.rank)
         engine = MRMPIEngine(comm, perf=perf, recorder=recorder)
+        engine.ooc = ctx
         local: Any = _dataset_rows_per_rank(input_data, comm.rank, comm.size)
         outputs: dict[str, Any] = {}
         final: Any = None
@@ -146,6 +165,7 @@ class MapReduceRuntime(RecoveringRuntimeMixin):
                 continue
             source = SerialRuntime._job_input(job, i, plan, outputs, local)
             comm.check_fault(i, "before")
+            job_mark = ctx.manifest_mark() if ctx is not None else 0
             span = (
                 recorder.span(
                     job.op_id, category="job", rank=comm.rank, clock=comm.clock,
@@ -156,14 +176,18 @@ class MapReduceRuntime(RecoveringRuntimeMixin):
                 else nullcontext()
             )
             with perf.phase(job.operator_name.lower(), clock=comm.clock), span:
-                final = self._run_job(engine, job, source)
+                final = self._run_job(engine, job, source, ctx)
             outputs[job.op_id] = final
             comm.check_fault(i, "after")
             if checkpoint is not None:
+                payload = {"output": final, "clock": comm.clock.now}
+                if ctx is not None:
+                    payload["ooc"] = {"manifests": ctx.manifests_since(job_mark)}
                 checkpoint.save(
-                    job_key(fingerprint, i, job.op_id, comm.rank),
-                    {"output": final, "clock": comm.clock.now},
+                    job_key(fingerprint, i, job.op_id, comm.rank), payload
                 )
+        if ctx is not None:
+            ctx.fold_into(perf)
         perf_slots[comm.rank] = perf
         if not isinstance(final, dict):
             raise WorkflowError(
@@ -171,7 +195,11 @@ class MapReduceRuntime(RecoveringRuntimeMixin):
             )
         return final
 
-    def _run_job(self, engine: MRMPIEngine, job: PlannedJob, source: Any) -> Any:
+    def _run_job(
+        self, engine: MRMPIEngine, job: PlannedJob, source: Any, ctx: Any = None
+    ) -> Any:
+        if ctx is not None:
+            return self._run_job_ooc(engine, job, source, ctx)
         op = job.operator
         if isinstance(op, Sort):
             return self._sort_job(engine, op, source, num_reducers=job.num_reducers)
@@ -183,6 +211,56 @@ class MapReduceRuntime(RecoveringRuntimeMixin):
         if isinstance(op, Distribute):
             return self._distribute_job(engine, op, source)
         return op.apply_local(source)
+
+    def _run_job_ooc(
+        self, engine: MRMPIEngine, job: PlannedJob, source: Any, ctx: Any
+    ) -> Any:
+        """Budget-aware twin of ``_run_job``: spills when the budget demands.
+
+        The in-memory job methods charge their own job overhead, so the
+        spilled paths pass ``charge_entry`` to charge it exactly once per
+        job either way.
+        """
+        from repro.ooc.exchange import (
+            ensure_dataset,
+            ooc_distribute_exchange,
+            ooc_group_exchange,
+            ooc_sort_exchange,
+        )
+
+        comm = engine.comm
+        op = job.operator
+        if isinstance(op, Sort):
+            return ooc_sort_exchange(
+                comm, op, source, engine.perf, ctx,
+                sample_size=self.sample_size,
+                reducers=job.num_reducers or comm.size,
+                fallback=lambda ds: self._sort_job(
+                    engine, op, ds, num_reducers=job.num_reducers
+                ),
+                charge_entry=engine.charge_job_overhead,
+            )
+        if isinstance(op, Group):
+            return ooc_group_exchange(
+                comm, op, source, engine.perf, ctx,
+                sample_size=self.sample_size,
+                fallback=lambda ds: self._group_job(engine, op, ds),
+                charge_entry=engine.charge_job_overhead,
+            )
+        if isinstance(op, Split):
+            engine.charge_job_overhead()
+            return op.apply_local(ensure_dataset(source))
+        if isinstance(op, Distribute):
+            # the in-memory streams inside the exchange never charge the
+            # overhead themselves, so charge it here exactly once
+            engine.charge_job_overhead()
+            reducer_part = ExplicitPartitioner(op.num_partitions)
+            return ooc_distribute_exchange(
+                comm, op, source, engine.perf, ctx,
+                dest_of=lambda p: reducer_part(p) % comm.size,
+                backend="MapReduce",
+            )
+        return op.apply_local(ensure_dataset(source))
 
     # -- Sort as a MapReduce job (Figure 9, job 1) -----------------------------
 
@@ -283,16 +361,7 @@ class MapReduceRuntime(RecoveringRuntimeMixin):
         self, op: Distribute, comm: Communicator, global_idx: np.ndarray, n_local: int
     ) -> np.ndarray:
         total = comm.allreduce(n_local, SUM)
-        policy = op.policy.name
-        if policy in ("cyclic", "graphVertexCut"):
-            return global_idx % op.num_partitions
-        if policy == "block":
-            base, extra = divmod(total, op.num_partitions)
-            sizes = np.array(
-                [base + (1 if p < extra else 0) for p in range(op.num_partitions)]
-            )
-            return np.searchsorted(np.cumsum(sizes), global_idx, side="right")
-        raise WorkflowError(f"MapReduce runtime does not know policy {policy!r}")
+        return policy_partition_ids(op, global_idx, total, backend="MapReduce")
 
     # -- shuffle helper ------------------------------------------------------------
 

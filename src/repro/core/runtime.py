@@ -106,46 +106,130 @@ def _dataset_rows_per_rank(data: Dataset, rank: int, size: int) -> Dataset:
     base, extra = divmod(n, size)
     start = rank * base + min(rank, extra)
     length = base + (1 if rank < extra else 0)
+    if hasattr(data, "slice_view"):
+        # an out-of-core ChunkedDataset: hand the rank a row-range view
+        # instead of materializing its block (duck-typed so repro.ooc is
+        # never imported on the in-memory path)
+        return data.slice_view(start, length)
     return data.take(np.arange(start, start + length))
+
+
+def policy_partition_ids(
+    op: Distribute, global_idx: np.ndarray, total: int, backend: str = "MPI"
+) -> np.ndarray:
+    """Each entry's target partition under the distribution policy.
+
+    Pure function of the global entry positions and the global entry count
+    (the permutation formalization of Section III-C) — shared by both SPMD
+    runtimes and the out-of-core exchange, which must compute it chunk at a
+    time without re-running the count collective.
+    """
+    policy = op.policy.name
+    if policy in ("cyclic", "graphVertexCut"):
+        return global_idx % op.num_partitions
+    if policy == "block":
+        base, extra = divmod(total, op.num_partitions)
+        sizes = np.array(
+            [base + (1 if p < extra else 0) for p in range(op.num_partitions)]
+        )
+        return np.searchsorted(np.cumsum(sizes), global_idx, side="right")
+    raise WorkflowError(f"{backend} runtime does not know policy {policy!r}")
 
 
 class SerialRuntime:
     """Single-process reference execution of a plan."""
 
-    def __init__(self, recorder: Optional["Recorder"] = None) -> None:
+    def __init__(
+        self,
+        recorder: Optional["Recorder"] = None,
+        memory_budget: Any = None,
+    ) -> None:
         self.recorder = recorder
+        #: raw memory-budget spec; parsed lazily (repro.ooc stays unimported
+        #: when it is None)
+        self.memory_budget = memory_budget
 
     def execute(self, plan: WorkflowPlan, input_data: Dataset) -> PartitionResult:
         perf = PerfCounters()
         rec = self.recorder
-        outputs: dict[str, Any] = {}
-        with (
-            rec.span(f"plan:{plan.workflow_id}", category="plan",
-                     attrs={"backend": "serial", "ranks": 1})
-            if rec is not None
-            else nullcontext()
-        ) as root:
-            for i, job in enumerate(plan.jobs):
-                source = self._job_input(job, i, plan, outputs, input_data)
-                span = (
-                    rec.span(job.op_id, category="job", rank=0, parent=root,
-                             attrs={"job_index": i,
-                                    "operator": job.operator_name.lower()})
-                    if rec is not None
-                    else nullcontext()
-                )
-                with perf.phase(job.operator_name.lower()), span:
-                    outputs[job.op_id] = job.operator.apply_local(source)
-        final = outputs[plan.final_job.op_id]
-        if isinstance(final, Dataset):
-            final = [final]
-        extra: dict[str, Any] = {"perf": perf.summary()}
-        if rec is not None:
-            from repro.obs.adapters import record_perf
+        ctx = spill_dir = None
+        if self.memory_budget is not None:
+            import tempfile
 
-            record_perf(rec, extra["perf"])
-            extra["obs"] = rec
-        return PartitionResult(partitions=list(final), extra=extra)
+            from repro.ooc.budget import MemoryBudget
+            from repro.ooc.spill import OOCContext
+
+            spill_dir = tempfile.mkdtemp(prefix="papar-spill-")
+            ctx = OOCContext(MemoryBudget.coerce(self.memory_budget), spill_dir)
+        try:
+            outputs: dict[str, Any] = {}
+            with (
+                rec.span(f"plan:{plan.workflow_id}", category="plan",
+                         attrs={"backend": "serial", "ranks": 1})
+                if rec is not None
+                else nullcontext()
+            ) as root:
+                for i, job in enumerate(plan.jobs):
+                    source = self._job_input(job, i, plan, outputs, input_data)
+                    span = (
+                        rec.span(job.op_id, category="job", rank=0, parent=root,
+                                 attrs={"job_index": i,
+                                        "operator": job.operator_name.lower()})
+                        if rec is not None
+                        else nullcontext()
+                    )
+                    with perf.phase(job.operator_name.lower()), span:
+                        if ctx is not None:
+                            outputs[job.op_id] = self._apply_ooc(
+                                job.operator, source, ctx
+                            )
+                        else:
+                            outputs[job.op_id] = job.operator.apply_local(source)
+            final = outputs[plan.final_job.op_id]
+            if isinstance(final, Dataset):
+                final = [final]
+            if ctx is not None:
+                ctx.fold_into(perf)
+            extra: dict[str, Any] = {"perf": perf.summary()}
+            if rec is not None:
+                from repro.obs.adapters import record_perf
+
+                record_perf(rec, extra["perf"])
+                extra["obs"] = rec
+            return PartitionResult(partitions=list(final), extra=extra)
+        finally:
+            if spill_dir is not None:
+                import shutil
+
+                shutil.rmtree(spill_dir, ignore_errors=True)
+
+    @staticmethod
+    def _apply_ooc(op: Any, source: Any, ctx: Any) -> Any:
+        """Run one operator under a budget: external sort when it must spill."""
+        from repro.ooc.chunked import iter_dataset_chunks
+        from repro.ooc.exchange import ensure_dataset
+        from repro.ooc.extsort import ExternalSorter, sort_key_array
+
+        spillable = (
+            isinstance(op, Sort)
+            and op.addon is None
+            and not bool(getattr(source, "is_packed", False))
+            and ctx.should_spill(source.nbytes)
+        )
+        if not spillable:
+            return op.apply_local(ensure_dataset(source))
+        schema = source.schema
+        key_dtype = sort_key_array(
+            np.empty(0, dtype=schema.dtype[op.key]), op.ascending
+        ).dtype
+        sorter = ExternalSorter(
+            ctx, schema.dtype, key_dtype=key_dtype, max_fanin=ctx.max_fanin
+        )
+        for chunk in iter_dataset_chunks(source, ctx.chunk_records(schema.itemsize)):
+            sorter.add_chunk(
+                sort_key_array(chunk.records[op.key], op.ascending), chunk.records
+            )
+        return Dataset(schema=schema, records=sorter.sorted_values())
 
     @staticmethod
     def _job_input(
@@ -199,6 +283,33 @@ class RecoveringRuntimeMixin:
         #: open root-span handle while :meth:`execute` is running
         self._obs_root: Any = None
 
+    def _init_ooc(self, memory_budget: Any) -> None:
+        #: raw memory-budget spec ("64MB" / bytes / MemoryBudget / None);
+        #: parsed lazily so repro.ooc is never imported when it is None
+        self.memory_budget = memory_budget
+        self._ooc_limit: Optional[int] = None
+        self._spill_dir: Optional[str] = None
+
+    def _ooc_setup(self) -> None:
+        """Parse the budget and create the run-file directory (budgeted runs)."""
+        if self.memory_budget is None:
+            return
+        import tempfile
+
+        from repro.ooc.budget import MemoryBudget
+
+        self._ooc_limit = MemoryBudget.coerce(self.memory_budget).limit
+        self._spill_dir = tempfile.mkdtemp(prefix="papar-spill-")
+
+    def _ooc_teardown(self) -> None:
+        """Remove the spill directory (run files are execution-scoped)."""
+        if self._spill_dir is None:
+            return
+        import shutil
+
+        shutil.rmtree(self._spill_dir, ignore_errors=True)
+        self._spill_dir = None
+
     @property
     def fault_tolerant(self) -> bool:
         """True when any fault-tolerance feature was configured."""
@@ -218,6 +329,8 @@ class RecoveringRuntimeMixin:
         obs_kwargs: dict[str, Any] = {}
         if self.recorder is not None:
             obs_kwargs = {"recorder": self.recorder, "obs_root": self._obs_root}
+        if getattr(self, "_spill_dir", None) is not None:
+            obs_kwargs["ooc_spec"] = (self._ooc_limit, self._spill_dir)
         if not self.fault_tolerant:
             perf_slots: list[Optional[PerfCounters]] = [None] * self.num_ranks
             run = run_mpi(
@@ -297,6 +410,7 @@ class MPIRuntime(RecoveringRuntimeMixin):
         retry: Optional[RetryPolicy] = None,
         deadlock_grace: Optional[float] = None,
         recorder: Optional["Recorder"] = None,
+        memory_budget: Any = None,
     ) -> None:
         if cluster is not None and cluster.size != num_ranks:
             raise WorkflowError(
@@ -307,10 +421,18 @@ class MPIRuntime(RecoveringRuntimeMixin):
         self.sample_size = sample_size
         self._init_fault_tolerance(faults, chaos_seed, checkpoint, retry, deadlock_grace)
         self._init_observability(recorder)
+        self._init_ooc(memory_budget)
 
     # -- public API ---------------------------------------------------------
 
     def execute(self, plan: WorkflowPlan, input_data: Dataset) -> PartitionResult:
+        self._ooc_setup()
+        try:
+            return self._execute(plan, input_data)
+        finally:
+            self._ooc_teardown()
+
+    def _execute(self, plan: WorkflowPlan, input_data: Dataset) -> PartitionResult:
         # one perf-counter slot per rank, merged after the run (rank threads
         # write disjoint slots, so no locking is needed)
         if self.recorder is None:
@@ -356,9 +478,17 @@ class MPIRuntime(RecoveringRuntimeMixin):
         fingerprint: str = "",
         recorder: Optional["Recorder"] = None,
         obs_root: Any = None,
+        ooc_spec: Any = None,
     ) -> dict[int, Dataset]:
         perf = PerfCounters()
         comm.recorder = recorder
+        ctx = None
+        if ooc_spec is not None:
+            from repro.ooc.budget import MemoryBudget
+            from repro.ooc.spill import OOCContext
+
+            limit, spill_dir = ooc_spec
+            ctx = OOCContext(MemoryBudget(limit), spill_dir, rank=comm.rank)
         local: Any = _dataset_rows_per_rank(input_data, comm.rank, comm.size)
         outputs: dict[str, Any] = {}
         final: Any = None
@@ -378,6 +508,7 @@ class MPIRuntime(RecoveringRuntimeMixin):
                 continue
             source = SerialRuntime._job_input(job, i, plan, outputs, local)
             comm.check_fault(i, "before")
+            job_mark = ctx.manifest_mark() if ctx is not None else 0
             self._charge_job_overhead(comm)
             span = (
                 recorder.span(
@@ -389,16 +520,20 @@ class MPIRuntime(RecoveringRuntimeMixin):
                 else nullcontext()
             )
             with perf.phase(job.operator_name.lower(), clock=comm.clock), span:
-                final = self._run_job(comm, job, source, perf)
+                final = self._run_job(comm, job, source, perf, ctx)
             outputs[job.op_id] = final
             # an "after" crash fires before the checkpoint commits, so the
             # next attempt re-runs this job on every rank
             comm.check_fault(i, "after")
             if checkpoint is not None:
+                payload = {"output": final, "clock": comm.clock.now}
+                if ctx is not None:
+                    payload["ooc"] = {"manifests": ctx.manifests_since(job_mark)}
                 checkpoint.save(
-                    job_key(fingerprint, i, job.op_id, comm.rank),
-                    {"output": final, "clock": comm.clock.now},
+                    job_key(fingerprint, i, job.op_id, comm.rank), payload
                 )
+        if ctx is not None:
+            ctx.fold_into(perf)
         perf_slots[comm.rank] = perf
         if not isinstance(final, dict):
             raise WorkflowError(
@@ -415,8 +550,15 @@ class MPIRuntime(RecoveringRuntimeMixin):
             comm.charge_compute(comm.cluster.compute(single_core_cost))
 
     def _run_job(
-        self, comm: Communicator, job: PlannedJob, source: Any, perf: PerfCounters
+        self,
+        comm: Communicator,
+        job: PlannedJob,
+        source: Any,
+        perf: PerfCounters,
+        ctx: Any = None,
     ) -> Any:
+        if ctx is not None:
+            return self._run_job_ooc(comm, job, source, perf, ctx)
         op = job.operator
         if isinstance(op, Sort):
             return self._sort_distributed(comm, op, source, perf)
@@ -429,6 +571,55 @@ class MPIRuntime(RecoveringRuntimeMixin):
             return self._distribute_distributed(comm, op, source, perf)
         # user-registered basic operator: run its local kernel
         return op.apply_local(source)
+
+    def _run_job_ooc(
+        self,
+        comm: Communicator,
+        job: PlannedJob,
+        source: Any,
+        perf: PerfCounters,
+        ctx: Any,
+    ) -> Any:
+        """Budget-aware twin of ``_run_job``: spills when the budget demands.
+
+        Every operator falls back to the exact in-memory kernel when the
+        (collectively agreed) working set fits the budget, so an unlimited
+        budget reproduces the fast path byte for byte.
+        """
+        from repro.ooc.exchange import (
+            ensure_dataset,
+            ooc_distribute_exchange,
+            ooc_group_exchange,
+            ooc_sort_exchange,
+        )
+
+        op = job.operator
+        if isinstance(op, Sort):
+            return ooc_sort_exchange(
+                comm, op, source, perf, ctx,
+                sample_size=self.sample_size,
+                fallback=lambda ds: self._sort_distributed(comm, op, ds, perf),
+                charge_local=lambda n: self._charge(comm, _sort_cost(comm, n)),
+            )
+        if isinstance(op, Group):
+            return ooc_group_exchange(
+                comm, op, source, perf, ctx,
+                sample_size=self.sample_size,
+                fallback=lambda ds: self._group_distributed(comm, op, ds, perf),
+                charge_local=lambda n: self._charge(comm, _hash_cost(comm, n)),
+            )
+        if isinstance(op, Split):
+            data = ensure_dataset(source)
+            self._charge(comm, _stream_cost(comm, data))
+            return op.apply_local(data)
+        if isinstance(op, Distribute):
+            return ooc_distribute_exchange(
+                comm, op, source, perf, ctx,
+                dest_of=lambda p: p % comm.size,
+                backend="MPI",
+                charge_assemble=lambda n: self._charge(comm, _stream_cost(comm, n)),
+            )
+        return op.apply_local(ensure_dataset(source))
 
     # -- distributed sort (Figure 9, job 1) -----------------------------------
 
@@ -527,18 +718,7 @@ class MPIRuntime(RecoveringRuntimeMixin):
         self, op: Distribute, comm: Communicator, global_idx: np.ndarray, n_local: int
     ) -> np.ndarray:
         total = comm.allreduce(n_local, SUM)
-        policy = op.policy.name
-        if policy in ("cyclic", "graphVertexCut"):
-            return global_idx % op.num_partitions
-        if policy == "block":
-            base, extra = divmod(total, op.num_partitions)
-            # boundaries of the contiguous chunks
-            sizes = np.array(
-                [base + (1 if p < extra else 0) for p in range(op.num_partitions)]
-            )
-            bounds = np.cumsum(sizes)
-            return np.searchsorted(bounds, global_idx, side="right")
-        raise WorkflowError(f"MPI runtime does not know policy {policy!r}")
+        return policy_partition_ids(op, global_idx, total, backend="MPI")
 
     # -- shuffle helper -------------------------------------------------------------
 

@@ -61,16 +61,57 @@ def write_text(path: PathLike, rows: Sequence[Sequence[Any]], schema: RecordSche
             fh.write(format_line(row, schema))
 
 
-def read_text(path: PathLike, schema: RecordSchema) -> list[tuple[Any, ...]]:
-    """Read a whole delimited text file into typed tuples."""
+def iter_text_lines(
+    path: PathLike, buffer_size: int = 1 << 16, offset: int = 0
+) -> Iterator[str]:
+    """Yield complete lines from fixed-size raw reads with a carry-over tail.
+
+    A record that spans two read buffers must be neither split nor dropped:
+    the unterminated tail of each buffer is carried into the next read and
+    only emitted once its terminator (or end-of-file) arrives.  This is the
+    boundary protocol the out-of-core chunk readers rely on, and it holds
+    for any ``buffer_size >= 1`` (the boundary-fuzz test sweeps 1..64).
+
+    ``offset`` must be the byte offset of a line start (0 or one past a
+    terminator); the chunked readers use it to resume at an indexed record.
+    """
+    if buffer_size < 1:
+        raise FormatError(f"buffer_size must be >= 1, got {buffer_size!r}")
+    tail = b""
+    with open(path, "rb") as fh:
+        if offset:
+            fh.seek(offset)
+        while True:
+            buf = fh.read(buffer_size)
+            if not buf:
+                break
+            buf = tail + buf
+            pieces = buf.split(b"\n")
+            # the final piece has no terminator yet: carry it into the
+            # next buffer instead of emitting a torn record
+            tail = pieces.pop()
+            for piece in pieces:
+                yield piece.decode("utf-8") + "\n"
+    if tail:
+        yield tail.decode("utf-8")
+
+
+def iter_text_records(
+    path: PathLike,
+    schema: RecordSchema,
+    buffer_size: int = 1 << 16,
+) -> Iterator[tuple[Any, ...]]:
+    """Stream typed record tuples using the carry-over buffered reader."""
     if schema.input_format != "text":
         raise FormatError(f"schema {schema.id!r} is not a text schema")
-    out = []
-    with open(path, "r", encoding="utf-8") as fh:
-        for line in fh:
-            if line.strip():
-                out.append(parse_line(line, schema))
-    return out
+    for line in iter_text_lines(path, buffer_size=buffer_size):
+        if line.strip():
+            yield parse_line(line, schema)
+
+
+def read_text(path: PathLike, schema: RecordSchema) -> list[tuple[Any, ...]]:
+    """Read a whole delimited text file into typed tuples."""
+    return list(iter_text_records(path, schema))
 
 
 def read_text_array(path: PathLike, schema: RecordSchema) -> np.ndarray:

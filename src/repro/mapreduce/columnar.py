@@ -42,10 +42,29 @@ __all__ = [
     "bucketize",
     "group",
     "concat_batches",
+    "index_dtype",
     "PerfCounters",
     "VectorCombiner",
     "COMBINERS",
 ]
+
+
+# -- index dtype selection ---------------------------------------------------
+
+#: largest record count addressable by int32 indexes (module-level so tests
+#: can lower it to exercise the int64 path without allocating 2**31 records)
+_INT32_MAX = np.iinfo(np.int32).max
+
+
+def index_dtype(n: int) -> np.dtype:
+    """The index dtype for a batch of ``n`` records.
+
+    int32 halves the footprint of the shuffle's index arrays and the
+    ``reduceat`` offsets for every realistic batch; beyond 2**31 - 1
+    records int32 would silently wrap (negative indexes → wrong or
+    out-of-bounds buckets), so larger batches get int64.
+    """
+    return np.dtype(np.int64) if n > _INT32_MAX else np.dtype(np.int32)
 
 
 # -- bucketization ----------------------------------------------------------
@@ -65,7 +84,7 @@ def bucketize(owners: np.ndarray, num_buckets: int) -> list[np.ndarray]:
     if num_buckets < 1:
         raise MapReduceError(f"num_buckets must be >= 1, got {num_buckets!r}")
     if owners.size == 0:
-        empty = np.empty(0, dtype=np.int64)
+        empty = np.empty(0, dtype=index_dtype(0))
         return [empty for _ in range(num_buckets)]
     if owners.dtype.kind not in "iu":
         owners = owners.astype(np.int64)
@@ -74,7 +93,9 @@ def bucketize(owners: np.ndarray, num_buckets: int) -> list[np.ndarray]:
         raise MapReduceError(
             f"owner ids must lie in [0, {num_buckets}), got range [{lo}, {hi}]"
         )
-    order = np.argsort(owners, kind="stable")
+    order = np.argsort(owners, kind="stable").astype(
+        index_dtype(owners.size), copy=False
+    )
     counts = np.bincount(owners, minlength=num_buckets)
     return np.split(order, np.cumsum(counts[:-1]))
 
@@ -196,7 +217,7 @@ def group(batch: KVBatch, order: str = "first-seen") -> GroupedKVBatch:
     n = len(batch)
     if n == 0:
         return GroupedKVBatch(
-            keys=batch.keys, values=batch.values, offsets=np.zeros(1, dtype=np.int64)
+            keys=batch.keys, values=batch.values, offsets=np.zeros(1, dtype=index_dtype(0))
         )
     sort_idx = np.argsort(batch.keys, kind="stable")
     sorted_keys = batch.keys[sort_idx]
@@ -220,7 +241,8 @@ def group(batch: KVBatch, order: str = "first-seen") -> GroupedKVBatch:
     return GroupedKVBatch(
         keys=sorted_keys[starts][group_order],
         values=batch.values[sort_idx],
-        offsets=offsets.astype(np.int64),
+        # reduceat offsets sized to the batch: int32 until indexes could wrap
+        offsets=offsets.astype(index_dtype(n)),
     )
 
 
@@ -323,10 +345,21 @@ class PerfCounters:
     bytes_moved: int = 0
     #: phase name -> [wall seconds, virtual seconds]
     phases: dict[str, list[float]] = field(default_factory=dict)
+    #: out-of-core spill counters (empty unless a memory budget spilled);
+    #: keys: runs_written / spilled_records / spilled_bytes / max_merge_fanin
+    spill: dict[str, int] = field(default_factory=dict)
 
     def count_move(self, records: int, nbytes: int) -> None:
         self.records_moved += int(records)
         self.bytes_moved += int(nbytes)
+
+    def add_spill(self, stats: dict) -> None:
+        """Fold one rank's out-of-core spill counters into this instance."""
+        for name, value in stats.items():
+            if name == "max_merge_fanin":
+                self.spill[name] = max(self.spill.get(name, 0), int(value))
+            else:
+                self.spill[name] = self.spill.get(name, 0) + int(value)
 
     @contextmanager
     def phase(self, name: str, clock: Any = None):
@@ -349,10 +382,16 @@ class PerfCounters:
             acc = self.phases.setdefault(name, [0.0, 0.0])
             acc[0] += wall
             acc[1] = max(acc[1], virt)
+        if other.spill:
+            self.add_spill(other.spill)
 
     def summary(self) -> dict[str, Any]:
-        """The JSON-friendly dict stored in ``PartitionResult.extra['perf']``."""
-        return {
+        """The JSON-friendly dict stored in ``PartitionResult.extra['perf']``.
+
+        The ``spill`` block appears only when something actually spilled, so
+        budget-free runs produce byte-identical summaries to older builds.
+        """
+        out: dict[str, Any] = {
             "records_moved": self.records_moved,
             "bytes_moved": self.bytes_moved,
             "phases": {
@@ -360,6 +399,9 @@ class PerfCounters:
                 for name, (wall, virt) in sorted(self.phases.items())
             },
         }
+        if any(self.spill.values()):
+            out["spill"] = {name: value for name, value in sorted(self.spill.items())}
+        return out
 
     @staticmethod
     def merge_ranks(counters: Sequence[Optional["PerfCounters"]]) -> "PerfCounters":

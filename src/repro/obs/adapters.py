@@ -52,6 +52,8 @@ def record_perf(recorder: Recorder, perf_summary: Optional[dict[str, Any]]) -> N
 
     ``records_moved`` / ``bytes_moved`` become run-level counters;
     each phase's wall and virtual totals become ``perf.phase.*`` gauges.
+    Spill counters (present only when a memory-budgeted run actually
+    spilled) land under ``spill.*``, with the merge fan-in as a gauge.
     """
     if not perf_summary:
         return
@@ -60,6 +62,11 @@ def record_perf(recorder: Recorder, perf_summary: Optional[dict[str, Any]]) -> N
     for name, times in perf_summary.get("phases", {}).items():
         recorder.gauge(f"perf.phase.{name}.wall_s", times["wall_s"])
         recorder.gauge(f"perf.phase.{name}.virtual_s", times["virtual_s"])
+    spill = perf_summary.get("spill")
+    if spill:
+        for key in ("runs_written", "spilled_records", "spilled_bytes"):
+            recorder.count(f"spill.{key}", spill.get(key, 0))
+        recorder.gauge("spill.max_merge_fanin", spill.get("max_merge_fanin", 0))
 
 
 def record_fault_report(recorder: Recorder, report: Optional[dict[str, Any]]) -> None:

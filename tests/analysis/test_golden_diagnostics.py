@@ -678,6 +678,77 @@ class TestInputConfigs:
         assert diag.file == "blast_db.xml"
 
 
+SPLIT_ONLY = """<workflow id="t">
+  <arguments>
+    <param name="input_path" type="hdfs" format="blast_db"/>
+  </arguments>
+  <operators>
+    <operator id="s" operator="Split">
+      <param name="inputPath" value="$input_path"/>
+      <param name="outputPathList" value="/tmp/p,/tmp/q"/>
+      <param name="key" value="seq_size"/>
+      <param name="policy" value="{&gt;=, 10},{&lt;, 10}"/>
+    </operator>
+  </operators>
+</workflow>"""
+
+SORT_THEN_SPLIT = SPLIT_ONLY.replace(
+    "<operators>",
+    """<operators>
+    <operator id="pre" operator="Sort">
+      <param name="inputPath" value="$input_path"/>
+      <param name="outputPath" value="/tmp/sorted"/>
+      <param name="key" value="seq_size"/>
+    </operator>""",
+).replace('value="$input_path"/>\n      <param name="outputPathList"',
+          'value="$pre.outputPath"/>\n      <param name="outputPathList"')
+
+
+class TestOutOfCore:
+    """PAP06x: declared memory budget versus estimated input size."""
+
+    INPUTS = [(BLAST_DB, "blast_db.xml")]
+
+    def test_pap061_invalid_budget_spec(self):
+        result = run_lint(SPLIT_ONLY, inputs=self.INPUTS, memory_budget="banana")
+        diag = expect(result, "PAP061")
+        assert "banana" in diag.message
+        assert result.exit_code() == 1
+
+    def test_pap060_no_spill_capable_operator(self):
+        # 10**6 records x 16 B = ~15 MiB against a 1KB budget, and Split
+        # cannot spill: the input must be materialized over budget
+        result = run_lint(
+            SPLIT_ONLY, inputs=self.INPUTS,
+            memory_budget="1KB", assume_records=10**6,
+        )
+        diag = expect(result, "PAP060", line=3)  # points at the input argument
+        assert "1.0 KiB" in diag.message
+        assert "1000000 records" in diag.message
+
+    def test_pap060_suppressed_by_a_spill_capable_stage(self):
+        result = run_lint(
+            SORT_THEN_SPLIT, inputs=self.INPUTS,
+            memory_budget="1KB", assume_records=10**6,
+        )
+        assert not [d for d in result.diagnostics if d.code == "PAP060"]
+
+    def test_pap060_silent_when_the_input_fits(self):
+        result = run_lint(
+            SPLIT_ONLY, inputs=self.INPUTS,
+            memory_budget="64MB", assume_records=1000,
+        )
+        assert not [d for d in result.diagnostics if d.code.startswith("PAP06")]
+
+    def test_pap060_needs_an_assumed_record_count(self):
+        result = run_lint(SPLIT_ONLY, inputs=self.INPUTS, memory_budget="1KB")
+        assert not [d for d in result.diagnostics if d.code.startswith("PAP06")]
+
+    def test_rules_silent_without_a_budget(self):
+        result = run_lint(SPLIT_ONLY, inputs=self.INPUTS, assume_records=10**6)
+        assert not [d for d in result.diagnostics if d.code.startswith("PAP06")]
+
+
 class TestCatalogIntegrity:
     def test_every_code_is_catalogued(self):
         assert len(CATALOG) >= 30

@@ -3,7 +3,7 @@
 The ruff config in ``pyproject.toml`` selects D100/D104 (module and
 package docstrings) for all of ``src/`` and D101/D102/D103 (class,
 method, function docstrings) for the audited packages ``repro.obs``,
-``repro.fault`` and ``repro.analysis``.  ruff only runs in CI; this test
+``repro.fault``, ``repro.analysis`` and ``repro.ooc``.  ruff only runs in CI; this test
 enforces the same contract locally with ``ast``, so a missing docstring
 fails fast in the tier-1 suite rather than only on the lint job.
 
@@ -22,7 +22,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent.parent
 SRC = REPO_ROOT / "src"
 
 # Packages whose public defs were audited for one-line docstrings.
-DEF_AUDITED = ("repro/obs", "repro/fault", "repro/analysis")
+DEF_AUDITED = ("repro/obs", "repro/fault", "repro/analysis", "repro/ooc")
 
 
 def _iter_src_files():
@@ -64,7 +64,7 @@ def test_every_src_module_has_a_docstring():
 
 
 def test_audited_packages_document_every_public_def():
-    """D101-D103: public classes/defs in obs/, fault/, analysis/ have docstrings."""
+    """D101-D103: public defs in obs/, fault/, analysis/, ooc/ have docstrings."""
     missing = []
     for path in _iter_src_files():
         rel = path.relative_to(SRC).as_posix()
@@ -77,7 +77,7 @@ def test_audited_packages_document_every_public_def():
     assert not missing, f"public defs without docstrings: {missing}"
 
 
-def test_audit_actually_scans_the_three_packages():
+def test_audit_actually_scans_the_audited_packages():
     """Guard against the audit silently scanning nothing after a rename."""
     counts = {pkg: 0 for pkg in DEF_AUDITED}
     for path in _iter_src_files():

@@ -1,0 +1,86 @@
+"""Boundary fuzz for the carry-over buffered text reader.
+
+A record that straddles a raw read boundary must be neither torn nor
+dropped nor duplicated, for *any* buffer size — so the sweep covers every
+size from 1 (each byte its own read) through 64, which walks the boundary
+across every position of every record in the fixture.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.formats.records import EDGE_LIST_SCHEMA
+from repro.formats.text import (
+    iter_text_lines,
+    iter_text_records,
+    read_text_array,
+    write_text,
+)
+
+
+@pytest.fixture(scope="module")
+def edge_file(tmp_path_factory):
+    # mixed-width fields (1..7 digit vertex ids) so line lengths vary and
+    # buffer boundaries land on delimiters, digits, and terminators alike
+    rng = np.random.default_rng(42)
+    rows = [
+        (int(a), int(b))
+        for a, b in zip(
+            rng.integers(0, 10**7, 120), rng.integers(0, 10**7, 120)
+        )
+    ]
+    path = tmp_path_factory.mktemp("text") / "edges.txt"
+    write_text(path, rows, EDGE_LIST_SCHEMA)
+    return str(path), rows
+
+
+@pytest.mark.parametrize("buffer_size", range(1, 65))
+def test_lines_survive_any_buffer_size(edge_file, buffer_size):
+    path, _ = edge_file
+    whole = open(path, encoding="utf-8").read()
+    lines = list(iter_text_lines(path, buffer_size))
+    assert "".join(lines) == whole  # nothing torn, dropped, or duplicated
+    assert all(line.endswith("\n") for line in lines[:-1])
+
+
+@pytest.mark.parametrize("buffer_size", range(1, 65))
+def test_records_survive_any_buffer_size(edge_file, buffer_size):
+    path, rows = edge_file
+    assert list(iter_text_records(path, EDGE_LIST_SCHEMA, buffer_size)) == rows
+
+
+def test_unterminated_final_line_is_kept(tmp_path):
+    path = str(tmp_path / "no_newline.txt")
+    open(path, "w").write("1\t2\n3\t4")  # no trailing terminator
+    for buffer_size in range(1, 12):
+        records = list(iter_text_records(path, EDGE_LIST_SCHEMA, buffer_size))
+        assert records == [(1, 2), (3, 4)]
+
+
+def test_blank_lines_are_skipped_at_any_boundary(tmp_path):
+    path = str(tmp_path / "blanks.txt")
+    open(path, "w").write("1\t2\n\n3\t4\n\n\n5\t6\n")
+    for buffer_size in range(1, 20):
+        records = list(iter_text_records(path, EDGE_LIST_SCHEMA, buffer_size))
+        assert records == [(1, 2), (3, 4), (5, 6)]
+
+
+def test_offset_resumes_at_a_line_start(edge_file):
+    path, _ = edge_file
+    whole = open(path, encoding="utf-8").read()
+    first = next(iter_text_lines(path, 16))
+    resumed = "".join(iter_text_lines(path, 16, offset=len(first)))
+    assert first + resumed == whole
+
+
+def test_invalid_buffer_size_is_rejected(edge_file):
+    path, _ = edge_file
+    with pytest.raises(FormatError):
+        list(iter_text_lines(path, 0))
+
+
+def test_sweep_agrees_with_array_reader(edge_file):
+    path, rows = edge_file
+    arr = read_text_array(path, EDGE_LIST_SCHEMA)
+    assert [tuple(r) for r in arr.tolist()] == rows

@@ -1,0 +1,125 @@
+"""SpillableShuffle and OOCContext: drain order, counters, manifest log."""
+
+import numpy as np
+
+from repro.mapreduce.columnar import PerfCounters
+from repro.ooc.budget import MemoryBudget
+from repro.ooc.spill import (
+    OOCContext,
+    SpillableShuffle,
+    concat_manifest_values,
+    drain_frames,
+)
+
+DT = np.dtype([("v", "<i8")])
+
+
+def vals(*xs):
+    return np.array([(x,) for x in xs], dtype=DT)
+
+
+def make_ctx(tmp_path, rank=0):
+    return OOCContext(MemoryBudget("1KB"), str(tmp_path), rank=rank)
+
+
+class TestOOCContext:
+    def test_run_paths_are_unique_and_rank_scoped(self, tmp_path):
+        ctx = make_ctx(tmp_path, rank=3)
+        a, b = ctx.new_run_path("sort"), ctx.new_run_path("shuffle")
+        assert a != b
+        assert "rank003" in a and str(tmp_path) in a
+
+    def test_should_spill_tracks_budget(self, tmp_path):
+        ctx = make_ctx(tmp_path)
+        assert not ctx.should_spill(1024)
+        assert ctx.should_spill(1025)
+
+    def test_manifest_mark_slices_per_job(self, tmp_path):
+        ctx = make_ctx(tmp_path)
+        shuffle = SpillableShuffle(ctx, 1, DT)
+        shuffle.append(0, vals(1, 2))
+        shuffle.finish()
+        mark = ctx.manifest_mark()
+        assert mark == 1
+        assert ctx.manifests_since(mark) == []
+        shuffle.append(0, vals(3))
+        shuffle.finish()
+        since = ctx.manifests_since(mark)
+        assert len(since) == 1
+        assert since[0]["num_records"] == 1
+        # full log still intact
+        assert len(ctx.manifests_since(0)) == 2
+
+    def test_fold_into_perf_counters(self, tmp_path):
+        ctx = make_ctx(tmp_path)
+        shuffle = SpillableShuffle(ctx, 2, DT)
+        shuffle.append(0, vals(1, 2, 3))
+        shuffle.append(1, vals(4))
+        shuffle.finish()
+        ctx.stats.record_merge(4)
+        perf = PerfCounters()
+        ctx.fold_into(perf)
+        spill = perf.summary()["spill"]
+        assert spill["runs_written"] == 2
+        assert spill["spilled_records"] == 4
+        assert spill["max_merge_fanin"] == 4
+        assert spill["spilled_bytes"] > 0
+
+
+class TestSpillableShuffle:
+    def test_empty_destinations_yield_none(self, tmp_path):
+        ctx = make_ctx(tmp_path)
+        shuffle = SpillableShuffle(ctx, 3, DT)
+        shuffle.append(1, vals(7))
+        manifests = shuffle.finish()
+        assert manifests[0] is None and manifests[2] is None
+        assert manifests[1].num_records == 1
+
+    def test_append_order_replays_per_destination(self, tmp_path):
+        ctx = make_ctx(tmp_path)
+        shuffle = SpillableShuffle(ctx, 2, DT)
+        shuffle.append(0, vals(1, 2))
+        shuffle.append(1, vals(10))
+        shuffle.append(0, vals(3))
+        manifests = shuffle.finish()
+        dest0 = concat_manifest_values([manifests[0]], DT)
+        assert np.array_equal(dest0, vals(1, 2, 3))
+        dest1 = concat_manifest_values([manifests[1]], DT)
+        assert np.array_equal(dest1, vals(10))
+
+    def test_keys_and_tags_survive_the_round_trip(self, tmp_path):
+        ctx = make_ctx(tmp_path)
+        shuffle = SpillableShuffle(ctx, 1, DT, key_dtype=np.dtype(np.int64))
+        shuffle.append(0, vals(5, 6), keys=np.array([50, 60]), tag=9)
+        (manifest,) = shuffle.finish()
+        (frame,) = list(drain_frames([manifest]))
+        assert frame.tag == 9
+        assert np.array_equal(frame.keys, np.array([50, 60]))
+
+    def test_drain_order_is_source_rank_order(self, tmp_path):
+        # two senders, one receiver: receiver must see rank 0 before rank 1,
+        # mirroring the in-memory alltoall + concat
+        ctx0, ctx1 = make_ctx(tmp_path, rank=0), make_ctx(tmp_path, rank=1)
+        s0 = SpillableShuffle(ctx0, 1, DT)
+        s1 = SpillableShuffle(ctx1, 1, DT)
+        s0.append(0, vals(1, 2))
+        s1.append(0, vals(3, 4))
+        (m0,), (m1,) = s0.finish(), s1.finish()
+        received = concat_manifest_values([m0, m1], DT)
+        assert np.array_equal(received, vals(1, 2, 3, 4))
+        # a None slot (sender with nothing for us) is skipped cleanly
+        received = concat_manifest_values([None, m1], DT)
+        assert np.array_equal(received, vals(3, 4))
+
+    def test_finish_resets_for_reuse(self, tmp_path):
+        ctx = make_ctx(tmp_path)
+        shuffle = SpillableShuffle(ctx, 1, DT)
+        shuffle.append(0, vals(1))
+        first = shuffle.finish()
+        second = shuffle.finish()
+        assert first[0] is not None
+        assert second == [None]
+
+    def test_concat_empty_manifests(self):
+        out = concat_manifest_values([None, None], DT)
+        assert out.dtype == DT and len(out) == 0
