@@ -1,11 +1,21 @@
 """Wall-clock parallel speedup on the process backend.
 
-All cluster-scale figures use virtual time (DESIGN.md §6); this bench is the
-honesty check on real hardware: the same distributed sample-sort kernel run
-on 1 vs N rank *processes*, measured in wall-clock seconds.  The speedup is
-bounded by shuffle serialization, but it must be real (> 1) on multicore
-hosts — demonstrating the runtime is a working parallel substrate, not only
-a simulator.
+All cluster-scale figures use virtual time (DESIGN.md §6); this bench is
+the honesty check on real hardware, in two parts:
+
+* **Process parallelism** — the distributed sample-sort kernel on 1 vs N
+  rank processes; the speedup is bounded by shuffle serialization but must
+  be real (> 1) on multicore hosts.
+* **Process shuffle** — the headline gate for the zero-copy transport: a
+  1M-record columnar shuffle+group through :class:`MRMPIEngine`, threaded
+  fabric vs forked ranks over shared memory.  On a >= 4-core host the
+  process backend must win by >= 2.5x at 4 workers; the smoke mode
+  (``PAPAR_BENCH_SMOKE=1``) shrinks the input and asserts > 1.0x at 2
+  workers.  Either way the run pins ``pickle_bytes == 0`` (every array
+  byte travelled out-of-band) and that no ``/dev/shm`` segment survives.
+
+Artifact: ``results/process_shuffle.{txt,json}`` (guide:
+``docs/process-backend.md``).
 """
 
 import os
@@ -15,11 +25,20 @@ import numpy as np
 import pytest
 
 from repro.bench import Experiment, shape
+from repro.mpi import run_mpi
 from repro.mpi.process_backend import run_mpi_processes
 from tests.mpi.test_process_backend import _sort_prog
 
+SMOKE = bool(os.environ.get("PAPAR_BENCH_SMOKE"))
+
 N = 2_000_000
 RANKS = min(4, os.cpu_count() or 1)
+
+#: the shuffle gate's shape: records, workers, required speedup
+SHUFFLE_N = 200_000 if SMOKE else 1_000_000
+SHUFFLE_WORKERS = 2 if SMOKE else 4
+SHUFFLE_ROUNDS = 2 if SMOKE else 3
+SHUFFLE_GATE = 1.0 if SMOKE else 2.5
 
 
 @pytest.fixture(scope="module")
@@ -59,3 +78,94 @@ def test_process_parallel_speedup(benchmark, data, reporter):
 def test_numpy_sort_baseline(benchmark, data):
     out = benchmark(np.sort, data, kind="stable")
     assert len(out) == N
+
+
+# -- the zero-copy shuffle gate ---------------------------------------------
+
+
+def _shuffle_prog(comm, keys, values, rounds):
+    """One rank of the MR shuffle: columnar hash-shuffle + group + reduce."""
+    from repro.mapreduce.columnar import COMBINERS, KVBatch
+    from repro.mapreduce.engine import MRMPIEngine
+    from repro.mapreduce.partitioner import HashPartitioner
+
+    eng = MRMPIEngine(comm)
+    n = len(keys)
+    base, extra = divmod(n, comm.size)
+    lo = comm.rank * base + min(comm.rank, extra)
+    hi = lo + base + (1 if comm.rank < extra else 0)
+    local = KVBatch(keys[lo:hi], values[lo:hi])
+    checksum = 0
+    for _ in range(rounds):
+        shuffled = eng.shuffle(local, HashPartitioner(comm.size))
+        reduced = eng.reduce(eng.group(shuffled), COMBINERS["sum"])
+        checksum += int(np.asarray(reduced.values).sum())
+    return checksum
+
+
+def _timed(launcher, workers, keys, values):
+    t0 = time.perf_counter()
+    run = launcher(
+        _shuffle_prog, workers, args=(keys, values, SHUFFLE_ROUNDS), kwargs=None
+    )
+    wall = time.perf_counter() - t0
+    total = int(values.sum()) * SHUFFLE_ROUNDS
+    assert sum(run.results) == total  # every round conserves the values
+    return wall, run
+
+
+def run_shuffle_gate():
+    rng = np.random.default_rng(7)
+    keys = rng.integers(0, 10_000, size=SHUFFLE_N)
+    values = rng.integers(0, 1_000, size=SHUFFLE_N)
+
+    thread_wall, _ = _timed(run_mpi, SHUFFLE_WORKERS, keys, values)
+    process_wall, proc_run = _timed(run_mpi_processes, SHUFFLE_WORKERS, keys, values)
+    speedup = thread_wall / process_wall
+
+    t = proc_run.extra["transport"]
+    exp = Experiment(
+        "Process shuffle",
+        f"{SHUFFLE_N:,}-record MR shuffle x{SHUFFLE_ROUNDS}, "
+        f"threaded fabric vs {SHUFFLE_WORKERS} forked ranks over shared memory",
+    )
+    exp.add(fabric="threaded", workers=SHUFFLE_WORKERS, wall_s=thread_wall,
+            records=SHUFFLE_N, shm_bytes=0, pickle_bytes=0)
+    exp.add(fabric="process", workers=SHUFFLE_WORKERS, wall_s=process_wall,
+            records=SHUFFLE_N, shm_bytes=t["shm_bytes"],
+            pickle_bytes=t["pickle_bytes"])
+    exp.note(f"speedup {speedup:.2f}x on {os.cpu_count()} cpu(s); "
+             f"segments created {t['segments_created']}, "
+             f"reused {t['segments_reused']}, unlinked {t['segments_unlinked']}")
+    if SMOKE:
+        exp.note("smoke mode: shrunken input, relaxed gate")
+    return exp, speedup, t
+
+
+def test_process_shuffle_speedup(benchmark, reporter):
+    exp, speedup, transport = benchmark.pedantic(
+        run_shuffle_gate, rounds=1, iterations=1
+    )
+    reporter.record(exp)
+    # the zero-copy pin holds regardless of core count
+    shape(
+        transport["pickle_bytes"] == 0,
+        "numpy payloads travel via shared memory, never the pickle lane",
+    )
+    from repro.mpi.shm import scan_segments
+
+    shape(
+        scan_segments(transport["shm_prefix"]) == [],
+        "no /dev/shm segment survives the run",
+    )
+    cpus = os.cpu_count() or 1
+    if cpus < SHUFFLE_WORKERS:
+        pytest.skip(
+            f"speedup gate needs >= {SHUFFLE_WORKERS} cpus (host has {cpus}); "
+            "transport pins still checked"
+        )
+    shape(
+        speedup >= SHUFFLE_GATE,
+        f"process backend >= {SHUFFLE_GATE}x over threaded at "
+        f"{SHUFFLE_WORKERS} workers (got {speedup:.2f}x)",
+    )

@@ -70,6 +70,8 @@ class Linter:
         ranks: Optional[int] = None,
         memory_budget: Optional[str] = None,
         assume_records: Optional[int] = None,
+        backend: Optional[str] = None,
+        faults: bool = False,
     ) -> None:
         #: schemas registered out-of-band (e.g. on a PaPar instance)
         self.schemas: dict[str, RecordSchema] = dict(schemas or {})
@@ -77,6 +79,9 @@ class Linter:
         #: declared memory budget / assumed record count (PAP06x rules)
         self.memory_budget = memory_budget
         self.assume_records = assume_records
+        #: intended execution backend / fault-tolerance flag (PAP07x rules)
+        self.backend = backend
+        self.faults = faults
 
     # -- public API ----------------------------------------------------------
 
@@ -150,6 +155,8 @@ class Linter:
             ranks=self.ranks,
             memory_budget=self.memory_budget,
             assume_records=self.assume_records,
+            backend=self.backend,
+            faults=self.faults,
         )
 
         # -- PAP051: supplied input configs nothing references ----------
@@ -258,11 +265,14 @@ def lint_workflow(
     do_plan: bool = True,
     memory_budget: Optional[str] = None,
     assume_records: Optional[int] = None,
+    backend: Optional[str] = None,
+    faults: bool = False,
 ) -> LintResult:
     """Convenience one-call form of :class:`Linter`."""
     return Linter(
         schemas=schemas, ranks=ranks,
         memory_budget=memory_budget, assume_records=assume_records,
+        backend=backend, faults=faults,
     ).lint(
         workflow_xml, filename=filename, inputs=inputs, args=args, do_plan=do_plan
     )
@@ -277,11 +287,14 @@ def lint_files(
     do_plan: bool = True,
     memory_budget: Optional[str] = None,
     assume_records: Optional[int] = None,
+    backend: Optional[str] = None,
+    faults: bool = False,
 ) -> LintResult:
     """Convenience one-call form over files on disk."""
     return Linter(
         schemas=schemas, ranks=ranks,
         memory_budget=memory_budget, assume_records=assume_records,
+        backend=backend, faults=faults,
     ).lint_paths(
         workflow_path, input_paths, args=args, do_plan=do_plan
     )

@@ -319,6 +319,11 @@ class LintContext:
     plan_error: Optional[str] = None
     #: simulated cluster size the user intends to run with (optional)
     ranks: Optional[int] = None
+    #: execution backend the user intends to run with (enables PAP07x)
+    backend: Optional[str] = None
+    #: True when any fault-tolerance feature (faults/checkpoint/retry)
+    #: is declared for the intended run
+    faults: bool = False
     #: declared per-rank memory budget spec (e.g. "64MB"), when given
     memory_budget: Optional[str] = None
     #: assumed input record count for budget sizing (with memory_budget)

@@ -112,6 +112,13 @@ CATALOG: dict[str, RuleSpec] = {
               "and no spill-capable operator is in the workflow"),
         _spec("PAP061", "invalid-memory-budget", Severity.ERROR,
               "the declared --memory-budget does not parse as a size"),
+        # -- execution-backend fit (PAP07x) ----------------------------------
+        _spec("PAP070", "process-backend-faults", Severity.WARNING,
+              "fault tolerance is declared but backend='process' cannot "
+              "run it; the runtime will refuse the configuration"),
+        _spec("PAP071", "process-backend-oversubscribed", Severity.INFO,
+              "more process ranks than CPU cores; forked ranks will "
+              "time-slice instead of running in parallel"),
         # -- analyzer self-diagnosis ----------------------------------------
         _spec("PAP099", "internal-error", Severity.ERROR,
               "a lint rule crashed; please report the configuration"),
@@ -136,6 +143,7 @@ def all_codes() -> list[str]:
 def _load() -> None:
     """Import the rule modules so their checkers register."""
     from repro.analysis.rules import (  # noqa: F401
+        backend,
         ooc,
         paths,
         plan,

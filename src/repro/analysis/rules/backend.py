@@ -1,0 +1,51 @@
+"""Execution-backend fit checks (PAP070-PAP071).
+
+These rules only fire when the user *declares* the backend they intend to
+run with (``papar lint --backend process``): PAP070 warns ahead of the
+runtime's :class:`~repro.errors.ConfigError` when fault tolerance is
+declared together with ``backend='process'`` (the injector and recovery
+loop need the deterministic threaded fabric), and PAP071 notes when the
+intended rank count oversubscribes the machine's CPUs — forked ranks
+compete for cores, so extra ranks add shuffle volume without adding
+parallelism.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterator, Optional
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.model import LintContext
+from repro.analysis.rules import checker
+
+
+def available_cpus() -> Optional[int]:
+    """CPU cores the process backend can actually use (patchable in tests)."""
+    return os.cpu_count()
+
+
+@checker
+def check_process_backend(ctx: LintContext) -> Iterator[Diagnostic]:
+    """PAP070/PAP071: declared backend versus its runtime restrictions."""
+    if ctx.backend != "process":
+        return
+    if ctx.faults:
+        yield ctx.diag(
+            "PAP070",
+            "fault tolerance (faults/checkpoint/retry) is declared but "
+            "backend='process' cannot run it: injection and recovery need "
+            "the deterministic threaded fabric, so the run will be refused",
+            suggestion="use backend='mpi' for chaos runs, or drop the "
+            "fault-tolerance flags for wall-clock runs",
+        )
+    cpus = available_cpus()
+    if ctx.ranks is not None and cpus is not None and ctx.ranks > cpus:
+        yield ctx.diag(
+            "PAP071",
+            f"{ctx.ranks} process ranks on a machine with {cpus} CPU "
+            "core(s): forked ranks will time-slice instead of running in "
+            "parallel",
+            suggestion=f"use at most {cpus} ranks with backend='process', "
+            "or backend='mpi' if the rank count models a larger cluster",
+        )

@@ -86,6 +86,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument("--assume-records", type=int, default=None, metavar="N",
                         help="assumed input record count for budget sizing "
                              "(with --memory-budget)")
+    p_lint.add_argument("--backend", default=None,
+                        choices=("serial", "mpi", "mapreduce", "process"),
+                        help="intended execution backend "
+                             "(enables the backend-fit rules, PAP07x)")
+    p_lint.add_argument("--faults", action="append", default=[], metavar="SPEC",
+                        help="fault spec the run would use (repeatable); "
+                             "with --backend process, PAP070 warns that the "
+                             "runtime will refuse it")
 
     p_plan = sub.add_parser("plan", help="print the planned job sequence")
     common(p_plan)
@@ -98,7 +106,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run = sub.add_parser("run", help="partition an input file into part files")
     common(p_run)
     p_run.add_argument("--backend", default="serial",
-                       choices=("serial", "mpi", "mapreduce"))
+                       choices=("serial", "mpi", "mapreduce", "process"))
     p_run.add_argument("--ranks", type=int, default=1, help="MPI ranks to simulate")
     p_run.add_argument("--stats", action="store_true",
                        help="print shuffle perf counters (records/bytes moved, "
@@ -151,6 +159,8 @@ def cmd_lint(ns: argparse.Namespace) -> int:
         ranks=ns.ranks,
         memory_budget=ns.memory_budget,
         assume_records=ns.assume_records,
+        backend=ns.backend,
+        faults=bool(ns.faults),
     ).lint_paths(
         ns.workflow,
         ns.input,
@@ -178,6 +188,12 @@ def _lint_gate(ns: argparse.Namespace, papar: PaPar) -> Optional[int]:
         args=_parse_arg_pairs(ns.arg),
         ranks=getattr(ns, "ranks", None),
         memory_budget=getattr(ns, "memory_budget", None),
+        backend=getattr(ns, "backend", None),
+        faults=bool(
+            getattr(ns, "faults", None)
+            or getattr(ns, "checkpoint_dir", None)
+            or getattr(ns, "max_attempts", None)
+        ),
     )
     if result.errors:
         for diag in result.errors:
@@ -253,6 +269,17 @@ def print_stats(result) -> None:
             f"{spill.get('spilled_records', 0)} records / "
             f"{_format_bytes(spill.get('spilled_bytes', 0))} spilled, "
             f"merge fan-in {spill.get('max_merge_fanin', 0)}"
+        )
+    transport = perf.get("transport")
+    if transport:
+        print(
+            f"  transport: {transport['kind']}, "
+            f"{_format_bytes(transport['shm_bytes'])} zero-copy, "
+            f"{_format_bytes(transport['pickle_bytes'])} pickled arrays, "
+            f"{_format_bytes(transport['inline_bytes'])} inline objects; "
+            f"{transport['segments_created']} segment(s) created, "
+            f"{transport['segments_reused']} reused, "
+            f"{transport['segments_unlinked']} unlinked"
         )
 
 

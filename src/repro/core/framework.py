@@ -87,6 +87,8 @@ class PaPar:
         do_plan: bool = True,
         memory_budget: Optional[str] = None,
         assume_records: Optional[int] = None,
+        backend: Optional[str] = None,
+        faults: bool = False,
     ):
         """Statically analyze a workflow configuration without executing it.
 
@@ -110,6 +112,7 @@ class PaPar:
         return Linter(
             schemas=self._schemas, ranks=ranks,
             memory_budget=memory_budget, assume_records=assume_records,
+            backend=backend, faults=faults,
         ).lint(
             xml,
             filename=filename,
@@ -127,6 +130,8 @@ class PaPar:
         do_plan: bool = True,
         memory_budget: Optional[str] = None,
         assume_records: Optional[int] = None,
+        backend: Optional[str] = None,
+        faults: bool = False,
     ):
         """Statically analyze configuration files (see :meth:`lint`)."""
         from repro.analysis.engine import Linter
@@ -134,6 +139,7 @@ class PaPar:
         return Linter(
             schemas=self._schemas, ranks=ranks,
             memory_budget=memory_budget, assume_records=assume_records,
+            backend=backend, faults=faults,
         ).lint_paths(
             os.fspath(workflow_path),
             [os.fspath(p) for p in input_paths],
@@ -303,6 +309,14 @@ class PaPar:
                 num_ranks=num_ranks, cluster=cluster, recorder=recorder,
                 memory_budget=memory_budget, **ft
             ).execute(plan, data)
+        if backend == "process":
+            from repro.core.process_runtime import ProcessRuntime
+
+            return ProcessRuntime(
+                num_ranks=num_ranks, cluster=cluster, recorder=recorder,
+                memory_budget=memory_budget, **ft
+            ).execute(plan, data)
         raise WorkflowError(
-            f"unknown backend {backend!r}; use 'serial', 'mpi' or 'mapreduce'"
+            f"unknown backend {backend!r}; "
+            "use 'serial', 'mpi', 'mapreduce' or 'process'"
         )

@@ -1,0 +1,147 @@
+"""Process-backed workflow execution: ``backend="process"``.
+
+:class:`ProcessRuntime` reuses every distributed kernel of
+:class:`~repro.core.runtime.MPIRuntime` — sample-sort, range-group,
+exclusive-scan distribute — and swaps only the launcher: ranks run as
+forked OS processes over the shared-memory fabric of
+:mod:`repro.mpi.process_backend`, so the kernels execute in genuine
+parallel instead of time-slicing one GIL.
+
+This is the wall-clock path.  The threaded ``backend="mpi"`` remains the
+deterministic substrate for chaos engineering and virtual-time studies, so
+the features that depend on shared in-process state are rejected *up
+front* with a :class:`~repro.errors.ConfigError` instead of crashing
+mid-run:
+
+* fault injection / checkpoint / retry (``faults=``, ``checkpoint=``,
+  ``retry=``) — the injector and recovery loop coordinate through shared
+  memory only threads have;
+* ``Communicator.split``/``dup`` additionally raise
+  :class:`~repro.errors.MPIError` from the fabric if a custom rank program
+  calls them.
+
+Supported everywhere else: cluster models (virtual clocks ride along),
+memory budgets (workers spill run files into the driver's spill
+directory), and observability — the driver records the plan span and
+folds each worker's transport counters into per-rank ``comm.shm_bytes`` /
+``comm.pickle_bytes`` counts, while the merged summary lands in
+``PartitionResult.extra["perf"]["transport"]``.
+
+This module is imported only when ``backend="process"`` is selected
+(pinned by a fresh-interpreter test), so the other backends never pay for
+it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.cluster.model import ClusterModel
+from repro.core.dataset import Dataset
+from repro.core.planner import WorkflowPlan
+from repro.core.runtime import MPIRuntime, PartitionResult
+from repro.errors import ConfigError
+from repro.mpi.comm import Communicator
+from repro.mpi.launcher import MPIRun
+
+
+def _rank_main(
+    comm: Communicator,
+    runtime: "ProcessRuntime",
+    plan: WorkflowPlan,
+    input_data: Dataset,
+    ooc_spec: Any = None,
+) -> tuple[dict, Any]:
+    """Worker entry point: run the rank program, return (final, perf).
+
+    The thread launcher shares one ``perf_slots`` list across ranks; a
+    process cannot, so each worker returns its own counter alongside the
+    partition dict and the spawner reassembles the slots.
+    """
+    slots: list = [None] * comm.size
+    final = runtime._rank_program(comm, plan, input_data, slots, ooc_spec=ooc_spec)
+    return final, slots[comm.rank]
+
+
+class ProcessRuntime(MPIRuntime):
+    """SPMD execution with ranks as OS processes (zero-copy shm shuffle)."""
+
+    backend_name = "process"
+
+    def __init__(
+        self,
+        num_ranks: int,
+        cluster: Optional[ClusterModel] = None,
+        sample_size: int = 512,
+        *,
+        faults: Any = None,
+        chaos_seed: int = 0,
+        checkpoint: Any = None,
+        retry: Any = None,
+        deadlock_grace: Optional[float] = None,
+        recorder: Any = None,
+        memory_budget: Any = None,
+        timeout: float = 600.0,
+    ) -> None:
+        unsupported = [
+            name
+            for name, value in (
+                ("faults", faults), ("checkpoint", checkpoint), ("retry", retry)
+            )
+            if value is not None
+        ]
+        if unsupported:
+            raise ConfigError(
+                f"backend='process' does not support {', '.join(unsupported)}: "
+                "fault injection and recovery need the deterministic threaded "
+                "fabric; use backend='mpi' for chaos runs"
+            )
+        super().__init__(
+            num_ranks,
+            cluster,
+            sample_size,
+            deadlock_grace=deadlock_grace,
+            recorder=recorder,
+            memory_budget=memory_budget,
+        )
+        #: wall-clock seconds the spawner waits for all workers to finish
+        self.timeout = timeout
+        self._transport: Optional[dict[str, Any]] = None
+
+    def _execute_spmd(
+        self, plan: WorkflowPlan, input_data: Dataset
+    ) -> tuple[MPIRun, list, Optional[dict[str, Any]]]:
+        from repro.mpi.process_backend import run_mpi_processes
+
+        kwargs: dict[str, Any] = {}
+        if self._spill_dir is not None:
+            kwargs["ooc_spec"] = (self._ooc_limit, self._spill_dir)
+        run = run_mpi_processes(
+            _rank_main,
+            self.num_ranks,
+            cluster=self.cluster,
+            args=(self, plan, input_data),
+            kwargs=kwargs or None,
+            timeout=self.timeout,
+            **(
+                {"collect_timeout": self.deadlock_grace}
+                if self.deadlock_grace is not None
+                else {}
+            ),
+        )
+        finals = [final for final, _perf in run.results]
+        perf_slots = [perf for _final, perf in run.results]
+        run.results = finals
+        self._transport = run.extra.get("transport")
+        return run, perf_slots, None
+
+    def _execute(self, plan: WorkflowPlan, input_data: Dataset) -> PartitionResult:
+        result = super()._execute(plan, input_data)
+        transport = self._transport
+        if transport is not None:
+            result.extra["perf"]["transport"] = transport
+            if self.recorder is not None:
+                for rank, t in transport.get("per_rank", {}).items():
+                    self.recorder.count("comm.shm_bytes", t["shm_bytes"], rank=rank)
+                    self.recorder.count("comm.pickle_bytes", t["pickle_bytes"], rank=rank)
+        return result

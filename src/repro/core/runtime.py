@@ -398,6 +398,9 @@ class RecoveringRuntimeMixin:
 class MPIRuntime(RecoveringRuntimeMixin):
     """SPMD execution of a plan on the simulated MPI runtime."""
 
+    #: backend label recorded on the plan span (subclasses override)
+    backend_name = "mpi"
+
     def __init__(
         self,
         num_ranks: int,
@@ -441,7 +444,7 @@ class MPIRuntime(RecoveringRuntimeMixin):
             with self.recorder.span(
                 f"plan:{plan.workflow_id}",
                 category="plan",
-                attrs={"backend": "mpi", "ranks": self.num_ranks},
+                attrs={"backend": self.backend_name, "ranks": self.num_ranks},
             ) as root:
                 self._obs_root = root
                 try:

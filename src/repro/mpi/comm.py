@@ -12,7 +12,6 @@ structure.
 
 from __future__ import annotations
 
-import pickle
 from typing import Any, Optional, Sequence
 
 import numpy as np
@@ -35,10 +34,6 @@ _TAG_ALLTOALL = -14
 _TAG_BARRIER = -15
 _TAG_SCAN = -16
 _TAG_BUFFER = -17
-
-
-def _pickle_payload(obj: Any) -> bytes:
-    return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
 
 
 class Communicator:
@@ -174,11 +169,11 @@ class Communicator:
         """Send a pickled Python object (eager: never blocks)."""
         if dest == PROC_NULL:
             return
-        payload = _pickle_payload(obj)
-        ts = self._charge_send(len(payload), serialized=True)
+        payload, nbytes = self._fabric.encode_object(obj)
+        ts = self._charge_send(nbytes, serialized=True)
         self._fabric.deliver(
             dest,
-            Message(source=self.rank, tag=tag, payload=payload, nbytes=len(payload), timestamp=ts),
+            Message(source=self.rank, tag=tag, payload=payload, nbytes=nbytes, timestamp=ts),
         )
 
     def recv(
@@ -194,7 +189,7 @@ class Communicator:
         self._charge_recv(msg, serialized=True)
         if status is not None:
             status.source, status.tag, status.count = msg.source, msg.tag, msg.nbytes
-        return pickle.loads(msg.payload)
+        return self._fabric.decode_object(msg.payload)
 
     def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
         """Non-blocking send (eager, completes immediately)."""
@@ -221,14 +216,15 @@ class Communicator:
         if dest == PROC_NULL:
             return
         arr = np.ascontiguousarray(buf)
-        ts = self._charge_send(arr.nbytes, serialized=False)
+        payload, nbytes = self._fabric.encode_buffer(arr)
+        ts = self._charge_send(nbytes, serialized=False)
         self._fabric.deliver(
             dest,
             Message(
                 source=self.rank,
                 tag=tag,
-                payload=arr.copy(),
-                nbytes=arr.nbytes,
+                payload=payload,
+                nbytes=nbytes,
                 timestamp=ts,
                 is_buffer=True,
             ),
@@ -246,7 +242,7 @@ class Communicator:
         if not msg.is_buffer:
             raise MPIError("Recv matched a pickled message; use recv() instead")
         self._charge_recv(msg, serialized=False)
-        incoming = msg.payload
+        incoming = self._fabric.decode_buffer(msg.payload)
         if buf.size < incoming.size:
             raise MPIError(
                 f"receive buffer too small: {buf.size} elements < {incoming.size} incoming"
@@ -420,7 +416,7 @@ class Communicator:
             self.Send(sendbuf[offsets[dest] : offsets[dest + 1]], dest=dest, tag=_TAG_BUFFER)
             msg = self._fabric.collect(self.rank, src, _TAG_BUFFER)
             self._charge_recv(msg, serialized=False)
-            chunks[src] = msg.payload
+            chunks[src] = self._fabric.decode_buffer(msg.payload)
         recvcounts = np.array([len(c) for c in chunks], dtype=np.int64)
         recvbuf = (
             np.concatenate(chunks) if recvcounts.sum() > 0 else sendbuf[:0].copy()
@@ -498,7 +494,7 @@ class Communicator:
             self.Send(sendbuf, dest=dest, tag=_TAG_BUFFER)
             msg = self._fabric.collect(self.rank, src, _TAG_BUFFER)
             self._charge_recv(msg, serialized=False)
-            chunks[src] = msg.payload
+            chunks[src] = self._fabric.decode_buffer(msg.payload)
         return np.concatenate(chunks), counts
 
     # -- communicator management ---------------------------------------------

@@ -29,10 +29,13 @@ single ``is None`` check — the fault-free hot path is unchanged.
 from __future__ import annotations
 
 import itertools
+import pickle
 import threading
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Optional
+
+import numpy as np
 
 from repro.errors import CorruptMessageError, DeadlockError, MPIError
 from repro.mpi.constants import ANY_SOURCE, ANY_TAG
@@ -74,16 +77,38 @@ class _Mailbox:
 
 @dataclass
 class TrafficStats:
-    """Aggregate traffic counters for one fabric (thread-safe via fabric lock)."""
+    """Aggregate traffic counters for one fabric (thread-safe via fabric lock).
+
+    ``shm_bytes`` / ``pickle_bytes`` / ``inline_bytes`` split the traffic by
+    transport lane.  On the thread fabric everything is in-process, so the
+    lane counters stay zero; the process backend's shared-memory fabric
+    fills them in (``shm_bytes`` = array bytes mapped out-of-band,
+    ``pickle_bytes`` = array bytes that *fell back* to a pickle blob,
+    ``inline_bytes`` = non-array object skeletons riding the pipe).
+    """
 
     messages: int = 0
     bytes: int = 0
     by_rank_bytes: dict[int, int] = field(default_factory=dict)
+    shm_bytes: int = 0
+    pickle_bytes: int = 0
+    inline_bytes: int = 0
 
     def record(self, source: int, nbytes: int) -> None:
         self.messages += 1
         self.bytes += nbytes
         self.by_rank_bytes[source] = self.by_rank_bytes.get(source, 0) + nbytes
+
+    def as_dict(self) -> dict[str, Any]:
+        """Plain-dict view (exit messages, ``extra["perf"]`` aggregation)."""
+        return {
+            "messages": self.messages,
+            "bytes": self.bytes,
+            "by_rank_bytes": dict(self.by_rank_bytes),
+            "shm_bytes": self.shm_bytes,
+            "pickle_bytes": self.pickle_bytes,
+            "inline_bytes": self.inline_bytes,
+        }
 
 
 class Fabric:
@@ -217,6 +242,35 @@ class Fabric:
                     continue
                 return msg
             return None
+
+    # -- payload codec -------------------------------------------------------
+    #
+    # The communicator never serializes payloads itself: it asks its fabric,
+    # so a transport can choose the wire format.  The thread fabric pickles
+    # (receivers get private copies, matching mpi4py's lowercase semantics)
+    # and copies buffers; the process backend's shared-memory fabric overrides
+    # these four hooks to move array bytes through pooled shm segments.
+
+    def encode_object(self, obj: Any) -> tuple[Any, int]:
+        """Serialize an object payload; returns ``(payload, nbytes)``."""
+        payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        return payload, len(payload)
+
+    def decode_object(self, payload: Any) -> Any:
+        """Rebuild an object produced by :meth:`encode_object`."""
+        return pickle.loads(payload)
+
+    def encode_buffer(self, arr: np.ndarray) -> tuple[Any, int]:
+        """Package a contiguous numpy buffer; returns ``(payload, nbytes)``.
+
+        The copy detaches the in-flight message from the sender's memory so
+        a sender reusing its buffer cannot corrupt an undelivered message.
+        """
+        return arr.copy(), arr.nbytes
+
+    def decode_buffer(self, payload: Any) -> np.ndarray:
+        """Rebuild the numpy buffer produced by :meth:`encode_buffer`."""
+        return payload
 
     # -- failure handling ----------------------------------------------------
 

@@ -1,23 +1,45 @@
-"""Process-backed SPMD execution: true parallelism for wall-clock runs.
+"""Process-backed SPMD execution: ranks as OS processes, zero-copy exchange.
 
-The default launcher runs ranks as threads — ideal for deterministic tests
-and virtual-time accounting, but serialized by the GIL.  This backend runs
-each rank as an OS process connected by pipes, so partitioner kernels
-actually execute in parallel; the wall-clock scalability benchmark uses it.
+The default launcher runs ranks as threads — ideal for deterministic tests,
+chaos engineering and virtual-time accounting, but serialized by the GIL.
+This backend is the wall-clock path: each rank is a forked OS process, so
+partitioner kernels genuinely execute in parallel, and it is a first-class
+``backend="process"`` selectable through ``PaPar.run`` / ``partition_files``
+/ ``python -m repro run --backend process`` (see ``docs/process-backend.md``).
 
-Semantics match the thread backend with two documented restrictions:
+Transport: pipes carry *headers only*.  Numpy payloads — ``KVBatch``
+columns, partition arrays, ``Dataset`` records — travel through pooled
+``multiprocessing.shared_memory`` segments via :mod:`repro.mpi.shm`; the
+:class:`ShmFabric` endpoint overrides the fabric codec hooks so the
+communicator, the MapReduce shuffle and both SPMD runtimes pick the
+zero-copy lane up without changes.
 
-* the rank function, its arguments and all messages must be picklable;
+Semantics match the thread backend with documented restrictions:
+
 * ``Communicator.split``/``dup`` are unsupported (they need the shared
-  rendezvous state only threads can share cheaply).
+  rendezvous state only threads can share cheaply) and raise
+  :class:`~repro.errors.MPIError`; the runtimes reject them earlier with a
+  :class:`~repro.errors.ConfigError`;
+* fault injection / chaos schedules stay on the threaded backend — the
+  deterministic substrate — and are rejected up front.
+
+Each worker ships its :class:`~repro.mpi.fabric.TrafficStats` and segment
+pool counters back in its exit message; the spawner merges them into
+``MPIRun.extra["transport"]`` so per-rank traffic survives the process
+boundary.  Cleanup discipline: workers never unlink; the spawner unlinks
+the union of the names ledger and a ``/dev/shm`` prefix scan after the
+workers are gone, so neither a clean exit nor a crash leaks segments.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
-import pickle
+import os
+import secrets
 from collections import deque
 from typing import Any, Callable, Optional, Sequence
+
+import numpy as np
 
 from repro.cluster.clock import VirtualClock
 from repro.cluster.model import ClusterModel
@@ -26,17 +48,81 @@ from repro.mpi.comm import Communicator
 from repro.mpi.constants import ANY_SOURCE, ANY_TAG
 from repro.mpi.fabric import Message, TrafficStats
 from repro.mpi.launcher import MPIRun
+from repro.mpi.shm import (
+    ShmEnvelope,
+    ShmPool,
+    decode_payload,
+    encode_payload,
+    scan_segments,
+    sweep_pending_closes,
+    unlink_segments,
+)
+
+#: seconds a worker blocks on its inbox before declaring the run stuck
+DEFAULT_COLLECT_TIMEOUT = 300.0
 
 
-class ProcessFabric:
-    """Per-process fabric endpoint: one inbox queue, peers' queues to send."""
+class ShmFabric:
+    """Per-process fabric endpoint speaking the shared-memory wire format.
 
-    def __init__(self, rank: int, queues: Sequence[Any]) -> None:
+    One inbox queue per rank carries :class:`Message` headers whose payloads
+    are :class:`~repro.mpi.shm.ShmEnvelope` headers; the bytes live in
+    pooled segments owned by the sending rank's :class:`ShmPool`.  Receivers
+    post segment names back to the owner's release queue when the last view
+    dies, closing the recycle loop.
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        queues: Sequence[Any],
+        release_queues: Sequence[Any],
+        pool: ShmPool,
+        collect_timeout: float = DEFAULT_COLLECT_TIMEOUT,
+    ) -> None:
         self.size = len(queues)
         self._rank = rank
         self._queues = queues
+        self._release_queues = release_queues
+        self._pool = pool
+        self._collect_timeout = collect_timeout
         self._buffer: deque[Message] = deque()
         self.stats = TrafficStats()
+
+    # -- payload codec (the zero-copy lane) ----------------------------------
+
+    def encode_object(self, obj: Any) -> tuple[Any, int]:
+        """Encode an object payload into a shm envelope."""
+        env = encode_payload(obj, self._pool)
+        return env, env.nbytes
+
+    def decode_object(self, payload: Any) -> Any:
+        """Map an envelope's segment and rebuild the object (views, no copy)."""
+        return decode_payload(payload, release_cb=self._release_cb(payload))
+
+    def encode_buffer(self, arr: np.ndarray) -> tuple[Any, int]:
+        """Encode a contiguous numpy buffer into a shm envelope."""
+        env = encode_payload(arr, self._pool)
+        return env, arr.nbytes
+
+    def decode_buffer(self, payload: Any) -> np.ndarray:
+        """Map an envelope back to a (read-only) numpy view."""
+        return decode_payload(payload, release_cb=self._release_cb(payload))
+
+    def _release_cb(self, env: ShmEnvelope) -> Optional[Callable[[], None]]:
+        """Callback posting the segment back to its owner when views die."""
+        if env.segment is None:
+            return None
+        queue = self._release_queues[env.owner]
+        name = env.segment
+
+        def _post() -> None:
+            try:
+                queue.put(name)
+            except Exception:  # queue torn down at interpreter exit
+                pass
+
+        return _post
 
     # -- transport (same interface as the thread Fabric) ---------------------
 
@@ -44,6 +130,12 @@ class ProcessFabric:
         if not (0 <= dest < self.size):
             raise MPIError(f"destination rank {dest} out of range (size {self.size})")
         self.stats.record(msg.source, msg.nbytes)
+        env = msg.payload
+        if isinstance(env, ShmEnvelope):
+            self.stats.shm_bytes += env.oob_bytes
+            self.stats.pickle_bytes += env.fallback_bytes
+            blob_len = len(env.blob) if env.blob is not None else 0
+            self.stats.inline_bytes += blob_len - env.fallback_bytes
         self._queues[dest].put(msg)
 
     def _match_buffer(self, source: int, tag: int) -> Optional[Message]:
@@ -66,7 +158,7 @@ class ProcessFabric:
 
         while True:
             try:
-                msg = self._queues[self._rank].get(timeout=timeout or 300.0)
+                msg = self._queues[self._rank].get(timeout=timeout or self._collect_timeout)
             except queue_mod.Empty as exc:
                 raise MPIError(
                     f"rank {dest} timed out waiting for message (source={source}, tag={tag})"
@@ -95,35 +187,76 @@ class ProcessFabric:
         return None
 
     def coordinate(self, key: Any, rank: int, value: Any, size: int):
-        raise MPIError("split()/dup() are not supported on the process backend")
+        raise MPIError(
+            "split()/dup() are not supported on the process backend; "
+            "use backend='mpi' for sub-communicator workflows"
+        )
 
     def abort(self, exc: BaseException) -> None:  # pragma: no cover - parent kills us
         raise MPIError(f"aborted: {exc!r}")
 
 
+def _drain(queue: Any) -> list[Any]:
+    """Pull everything immediately available off a multiprocessing queue."""
+    import queue as queue_mod
+
+    items = []
+    while True:
+        try:
+            items.append(queue.get_nowait())
+        except queue_mod.Empty:
+            return items
+        except (OSError, ValueError):
+            return items
+
+
 def _process_worker(
     rank: int,
     queues: Sequence[Any],
+    release_queues: Sequence[Any],
+    names_queue: Any,
     result_queue: Any,
     cluster: Optional[ClusterModel],
-    fn_blob: bytes,
-    args_blob: bytes,
+    prefix: str,
+    collect_timeout: float,
+    fn: Callable[..., Any],
+    args: Sequence[Any],
+    kwargs: dict[str, Any],
 ) -> None:
-    """Entry point of one rank process."""
+    """Entry point of one rank process (forked: fn/args arrive by COW memory)."""
+    pool = ShmPool(prefix, rank, release_queue=release_queues[rank], names_queue=names_queue)
+    fabric = ShmFabric(rank, queues, release_queues, pool, collect_timeout)
     try:
-        fn = pickle.loads(fn_blob)
-        args, kwargs = pickle.loads(args_blob)
-        fabric = ProcessFabric(rank, queues)
         comm = Communicator(rank, fabric, cluster=cluster, clock=VirtualClock())
         result = fn(comm, *args, **kwargs)
+        envelope = encode_payload(result, pool)
         result_queue.put(
-            ("ok", rank, result, comm.clock.now, fabric.stats.messages, fabric.stats.bytes)
+            {
+                "status": "ok",
+                "rank": rank,
+                "payload": envelope,
+                "clock": comm.clock.now,
+                "traffic": fabric.stats.as_dict(),
+                "pool": pool.stats.as_dict(),
+            }
         )
     except BaseException as exc:  # noqa: BLE001 - shipped to the parent
+        exit_msg = {
+            "status": "error",
+            "rank": rank,
+            "payload": exc,
+            "clock": 0.0,
+            "traffic": fabric.stats.as_dict(),
+            "pool": pool.stats.as_dict(),
+        }
         try:
-            result_queue.put(("error", rank, exc, 0.0, 0, 0))
+            result_queue.put(exit_msg)
         except Exception:
-            result_queue.put(("error", rank, MPIError(repr(exc)), 0.0, 0, 0))
+            exit_msg["payload"] = MPIError(repr(exc))
+            result_queue.put(exit_msg)
+    finally:
+        sweep_pending_closes()
+        pool.close()
 
 
 def run_mpi_processes(
@@ -134,23 +267,35 @@ def run_mpi_processes(
     args: Sequence[Any] = (),
     kwargs: Optional[dict[str, Any]] = None,
     timeout: float = 600.0,
+    collect_timeout: float = DEFAULT_COLLECT_TIMEOUT,
 ) -> MPIRun:
-    """Run ``fn(comm, *args, **kwargs)`` on ``size`` rank *processes*."""
+    """Run ``fn(comm, *args, **kwargs)`` on ``size`` rank *processes*.
+
+    Returns an :class:`~repro.mpi.launcher.MPIRun` whose
+    ``extra["transport"]`` carries the merged per-rank traffic and segment
+    pool counters (``shm_bytes``, ``pickle_bytes``, segments created /
+    reused / unlinked) — the numbers the driver surfaces in
+    ``PartitionResult.extra["perf"]["transport"]``.
+    """
     if size < 1:
         raise MPIError(f"size must be >= 1, got {size!r}")
     if cluster is not None and cluster.size != size:
         raise MPIError(
             f"cluster model provides {cluster.size} ranks but run was asked for {size}"
         )
-    ctx = mp.get_context("fork")
+    ctx = mp.get_context("fork") if "fork" in mp.get_all_start_methods() else mp.get_context()
+    prefix = f"pp{os.getpid():x}{secrets.token_hex(2)}"
     queues = [ctx.Queue() for _ in range(size)]
+    release_queues = [ctx.Queue() for _ in range(size)]
+    names_queue = ctx.Queue()
     result_queue = ctx.Queue()
-    fn_blob = pickle.dumps(fn, protocol=pickle.HIGHEST_PROTOCOL)
-    args_blob = pickle.dumps((tuple(args), dict(kwargs or {})), protocol=pickle.HIGHEST_PROTOCOL)
     procs = [
         ctx.Process(
             target=_process_worker,
-            args=(rank, queues, result_queue, cluster, fn_blob, args_blob),
+            args=(
+                rank, queues, release_queues, names_queue, result_queue,
+                cluster, prefix, collect_timeout, fn, tuple(args), dict(kwargs or {}),
+            ),
             daemon=True,
         )
         for rank in range(size)
@@ -160,31 +305,73 @@ def run_mpi_processes(
 
     results: list[Any] = [None] * size
     clocks = [0.0] * size
-    messages = 0
-    nbytes = 0
+    traffic: dict[int, dict[str, Any]] = {}
+    pools: dict[int, dict[str, int]] = {}
     first_error: Optional[BaseException] = None
+    unlinked = 0
     import queue as queue_mod
 
     try:
         for _ in range(size):
             try:
-                status, rank, payload, clock, msgs, b = result_queue.get(timeout=timeout)
+                exit_msg = result_queue.get(timeout=timeout)
             except queue_mod.Empty as exc:
                 raise MPIError(f"rank processes did not finish within {timeout}s") from exc
-            if status == "error":
-                first_error = first_error or payload
-            else:
-                results[rank] = payload
-                clocks[rank] = clock
-                messages += msgs
-                nbytes += b
-            if first_error is not None:
+            rank = exit_msg["rank"]
+            traffic[rank] = exit_msg["traffic"]
+            pools[rank] = exit_msg["pool"]
+            clocks[rank] = exit_msg["clock"]
+            if exit_msg["status"] == "error":
+                first_error = first_error or exit_msg["payload"]
                 break
+            # materialize the result out of shared memory before cleanup
+            results[rank] = decode_payload(exit_msg["payload"], copy=True)
     finally:
         for p in procs:
             p.terminate()
         for p in procs:
             p.join(timeout=10.0)
+        # unlink the union of the ledger and a /dev/shm prefix scan: a crashed
+        # worker's segments show up in at least one of the two
+        names = set(_drain(names_queue)) | set(scan_segments(prefix))
+        unlinked = unlink_segments(names)
+        sweep_pending_closes()
     if first_error is not None:
         raise first_error
-    return MPIRun(results=results, clocks=clocks, bytes_moved=nbytes, messages=messages)
+    messages = sum(t["messages"] for t in traffic.values())
+    nbytes = sum(t["bytes"] for t in traffic.values())
+    run = MPIRun(results=results, clocks=clocks, bytes_moved=nbytes, messages=messages)
+    run.extra["transport"] = _merge_transport(prefix, traffic, pools, unlinked)
+    return run
+
+
+def _merge_transport(
+    prefix: str,
+    traffic: dict[int, dict[str, Any]],
+    pools: dict[int, dict[str, int]],
+    unlinked: int,
+) -> dict[str, Any]:
+    """Fold per-rank traffic/pool counters into the driver-facing summary."""
+    summary: dict[str, Any] = {
+        "kind": "shm",
+        "shm_prefix": prefix,
+        "shm_bytes": sum(t["shm_bytes"] for t in traffic.values()),
+        "pickle_bytes": sum(t["pickle_bytes"] for t in traffic.values()),
+        "inline_bytes": sum(t["inline_bytes"] for t in traffic.values()),
+        "segments_created": sum(p["created"] for p in pools.values()),
+        "segments_reused": sum(p["reused"] for p in pools.values()),
+        "segments_released": sum(p["released"] for p in pools.values()),
+        "segments_unlinked": unlinked,
+        "shm_bytes_allocated": sum(p["bytes_allocated"] for p in pools.values()),
+        "per_rank": {
+            rank: {
+                "messages": t["messages"],
+                "bytes": t["bytes"],
+                "shm_bytes": t["shm_bytes"],
+                "pickle_bytes": t["pickle_bytes"],
+                "inline_bytes": t["inline_bytes"],
+            }
+            for rank, t in sorted(traffic.items())
+        },
+    }
+    return summary

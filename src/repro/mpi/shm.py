@@ -1,0 +1,507 @@
+"""Zero-copy shared-memory transport for the process backend.
+
+Thread ranks exchange Python objects by reference; process ranks cannot.
+The naive fix — pickle everything through a pipe — re-serializes every
+columnar payload at every exchange and erases the parallel speedup this
+backend exists to deliver.  This module keeps the pipe for *headers only*
+and moves the bytes through ``multiprocessing.shared_memory``:
+
+* :func:`encode_payload` pickles an object with protocol 5 and a
+  ``buffer_callback``, so every contiguous numpy array (``KVBatch``
+  columns, partition arrays, ``Dataset.records``) is captured out-of-band
+  instead of being copied into the pickle blob.  The raw buffers are
+  written into one pooled segment; the :class:`ShmEnvelope` that crosses
+  the pipe carries just the segment name, per-buffer offsets, dtype/shape
+  (bare-array fast path) and a crc32.
+* :func:`decode_payload` maps the segment in the receiving process and
+  rebuilds the object with ``pickle.loads(..., buffers=...)`` over
+  read-only views — array bodies are never copied.  A :class:`_Lease`
+  watches the reconstructed views with ``weakref.finalize``; when the
+  last one dies, the mapping is closed and the segment name is posted to
+  the owner's release queue for reuse.
+* :class:`ShmPool` is the per-rank segment allocator: size-class free
+  lists plus the release queue mean an alltoall exchanges a handful of
+  recycled segments instead of ``shm_open``-ing fresh ones every round.
+
+Cleanup discipline: workers *never* unlink.  Every created segment name
+is also pushed to a spawner-side ledger queue, and the spawner unlinks
+the union of that ledger and a ``/dev/shm`` prefix scan once the workers
+are gone — so neither a clean exit nor a crashed worker can leak
+segments (pinned by the leak tests in ``tests/mpi``).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import queue
+import threading
+import weakref
+import zlib
+from dataclasses import dataclass
+from multiprocessing.shared_memory import SharedMemory
+from typing import Any, Callable, Iterable, Optional
+
+import numpy as np
+
+from repro.errors import MPIError
+
+#: buffer start alignment inside a segment (cache line)
+ALIGNMENT = 64
+
+#: smallest segment size class; everything below rounds up to this
+MIN_SEGMENT = 4096
+
+#: envelope kinds: no out-of-band buffers / pickled object with external
+#: buffers / bare ndarray described entirely by the header
+KIND_INLINE = "inline"
+KIND_OBJECT = "object"
+KIND_ARRAY = "array"
+
+
+def _untrack(name: str) -> None:
+    """Withdraw a segment from the resource tracker (we own the lifecycle).
+
+    Python's tracker would otherwise unlink segments when *any* process
+    exits, yanking live blocks out from under sibling ranks.  Unregistering
+    a name that was never registered is harmless.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister("/" + name, "shared_memory")
+    except Exception:
+        pass
+
+
+def _track(name: str) -> None:
+    """Re-register a segment so ``SharedMemory.unlink``'s own unregister balances.
+
+    The creating worker withdrew the name (see :func:`_untrack`), but
+    ``unlink()`` unconditionally sends an unregister message; without a
+    matching register the tracker process logs a ``KeyError``.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.register("/" + name, "shared_memory")
+    except Exception:
+        pass
+
+
+def _attach(name: str) -> SharedMemory:
+    """Open an existing segment and immediately withdraw it from the tracker.
+
+    Python 3.11/3.12 register a POSIX segment on *attach* as well as create;
+    left in place, a worker's private tracker would unlink other ranks'
+    segments when that worker exits.  The immediate unregister balances the
+    constructor's register in the same process, so every tracker only ever
+    sees matched register/unregister pairs.
+    """
+    shm = SharedMemory(name=name)
+    _untrack(name)
+    return shm
+
+
+#: mappings whose close raced a dying view's buffer export (a finalizer
+#: runs *before* the dying array releases its export, so the first close
+#: attempt can see live pointers); swept on later transport activity
+_PENDING_CLOSE: list[SharedMemory] = []
+_PENDING_LOCK = threading.Lock()
+
+
+def _park_close(shm: SharedMemory) -> None:
+    with _PENDING_LOCK:
+        _PENDING_CLOSE.append(shm)
+
+
+def sweep_pending_closes() -> None:
+    """Retry closing mappings whose first close raced a dying view."""
+    with _PENDING_LOCK:
+        parked, _PENDING_CLOSE[:] = _PENDING_CLOSE[:], []
+    for shm in parked:
+        try:
+            shm.close()
+        except BufferError:
+            _park_close(shm)
+
+
+def _aligned(nbytes: int) -> int:
+    return (nbytes + ALIGNMENT - 1) // ALIGNMENT * ALIGNMENT
+
+
+def _size_class(nbytes: int) -> int:
+    """Round a request up to its power-of-two size class (min 4 KiB)."""
+    cap = MIN_SEGMENT
+    while cap < nbytes:
+        cap *= 2
+    return cap
+
+
+@dataclass(frozen=True)
+class ShmEnvelope:
+    """The header that crosses the pipe in place of the payload bytes."""
+
+    #: :data:`KIND_INLINE`, :data:`KIND_OBJECT` or :data:`KIND_ARRAY`
+    kind: str
+    #: pickle-5 skeleton (``None`` for the bare-array fast path)
+    blob: Optional[bytes]
+    #: shared-memory segment holding the buffers (``None`` when inline)
+    segment: Optional[str]
+    #: rank whose :class:`ShmPool` owns ``segment`` (release target)
+    owner: int
+    #: ``(offset, nbytes)`` per out-of-band buffer, in pickle order
+    buffers: tuple[tuple[int, int], ...]
+    #: dtype string / shape for :data:`KIND_ARRAY`
+    dtype: Optional[str]
+    shape: Optional[tuple[int, ...]]
+    #: crc32 over blob + buffers, verified on decode
+    crc: int
+    #: logical payload size (blob + buffer bytes) for traffic accounting
+    nbytes: int
+    #: bytes that travelled out-of-band through the segment
+    oob_bytes: int
+    #: array bytes that fell back to travelling inside a pickle blob
+    fallback_bytes: int
+
+
+@dataclass
+class PoolStats:
+    """Segment-allocator counters shipped back to the driver."""
+
+    created: int = 0
+    reused: int = 0
+    released: int = 0
+    bytes_allocated: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict view for exit messages and ``extra["perf"]``."""
+        return {
+            "created": self.created,
+            "reused": self.reused,
+            "released": self.released,
+            "bytes_allocated": self.bytes_allocated,
+        }
+
+
+class ShmPool:
+    """Per-rank pooled segment allocator with size-class free lists.
+
+    Segments come back via ``release_queue`` (posted by receivers when the
+    last view over a segment dies) and are drained opportunistically on
+    every :meth:`acquire`.  Every created name is mirrored to
+    ``names_queue`` so the spawner can unlink the full ledger at shutdown;
+    the pool itself only ever ``close()``-es its mappings.
+    """
+
+    def __init__(
+        self,
+        prefix: str,
+        rank: int,
+        release_queue: Any = None,
+        names_queue: Any = None,
+    ) -> None:
+        self.prefix = prefix
+        self.rank = rank
+        self._release_queue = release_queue
+        self._names_queue = names_queue
+        self._blocks: dict[str, SharedMemory] = {}
+        self._capacity: dict[str, int] = {}
+        self._free: dict[int, list[str]] = {}
+        self._seq = 0
+        self.stats = PoolStats()
+
+    def acquire(self, nbytes: int) -> SharedMemory:
+        """Return a segment of capacity >= ``nbytes`` (recycled if possible)."""
+        sweep_pending_closes()
+        self.drain_releases()
+        cap = _size_class(max(1, nbytes))
+        free = self._free.get(cap)
+        if free:
+            self.stats.reused += 1
+            return self._blocks[free.pop()]
+        while True:  # skip names left over by an unrelated crashed run
+            name = f"{self.prefix}r{self.rank}n{self._seq}"
+            self._seq += 1
+            try:
+                shm = SharedMemory(name=name, create=True, size=cap)
+                break
+            except FileExistsError:
+                continue
+        _untrack(name)
+        self._blocks[name] = shm
+        self._capacity[name] = cap
+        self.stats.created += 1
+        self.stats.bytes_allocated += cap
+        if self._names_queue is not None:
+            self._names_queue.put(name)
+        return shm
+
+    def drain_releases(self) -> None:
+        """Move every name posted to the release queue back to a free list."""
+        if self._release_queue is None:
+            return
+        while True:
+            try:
+                name = self._release_queue.get_nowait()
+            except queue.Empty:
+                return
+            except (OSError, ValueError):  # queue torn down mid-shutdown
+                return
+            if name in self._blocks:
+                self._free.setdefault(self._capacity[name], []).append(name)
+                self.stats.released += 1
+
+    def close(self) -> None:
+        """Unmap every block.  Unlinking is the spawner's job, never ours."""
+        for shm in self._blocks.values():
+            try:
+                shm.close()
+            except BufferError:  # a view still alive at exit; mapping dies with us
+                pass
+        self._blocks.clear()
+        self._capacity.clear()
+        self._free.clear()
+
+
+# -- encoding ---------------------------------------------------------------
+
+
+def encode_payload(obj: Any, pool: ShmPool) -> ShmEnvelope:
+    """Encode ``obj`` for the pipe: header out, array bytes into a segment.
+
+    Bare contiguous ndarrays skip pickle entirely (dtype/shape ride in the
+    header).  Everything else goes through pickle protocol 5 with a
+    ``buffer_callback``, so ndarrays *inside* containers (``KVBatch``,
+    ``Dataset``, dicts of partitions) still travel out-of-band.  If
+    out-of-band capture fails for an exotic payload, we fall back to a
+    plain pickle and account the bytes as ``fallback_bytes`` — the
+    ``comm.pickle_bytes`` counter the tests pin to zero for numpy payloads.
+    """
+    if (
+        isinstance(obj, np.ndarray)
+        and not obj.dtype.hasobject
+        and obj.dtype.names is None  # structured dtypes keep fields via pickle
+    ):
+        return _encode_array(np.ascontiguousarray(obj), pool)
+
+    pickle_buffers: list[pickle.PickleBuffer] = []
+    try:
+        blob = pickle.dumps(obj, protocol=5, buffer_callback=pickle_buffers.append)
+    except Exception:
+        for buf in pickle_buffers:
+            buf.release()
+        blob = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        return ShmEnvelope(
+            kind=KIND_INLINE, blob=blob, segment=None, owner=pool.rank,
+            buffers=(), dtype=None, shape=None, crc=zlib.crc32(blob),
+            nbytes=len(blob), oob_bytes=0, fallback_bytes=len(blob),
+        )
+    if not pickle_buffers:
+        return ShmEnvelope(
+            kind=KIND_INLINE, blob=blob, segment=None, owner=pool.rank,
+            buffers=(), dtype=None, shape=None, crc=zlib.crc32(blob),
+            nbytes=len(blob), oob_bytes=0, fallback_bytes=0,
+        )
+
+    raws = [buf.raw() for buf in pickle_buffers]
+    spans: list[tuple[int, int]] = []
+    total = 0
+    for raw in raws:
+        spans.append((total, raw.nbytes))
+        total += _aligned(raw.nbytes)
+    shm = pool.acquire(total)
+    crc = zlib.crc32(blob)
+    for (offset, nbytes), raw in zip(spans, raws):
+        shm.buf[offset : offset + nbytes] = raw
+        crc = zlib.crc32(raw, crc)
+        raw.release()
+    for buf in pickle_buffers:
+        buf.release()
+    oob = sum(nbytes for _, nbytes in spans)
+    return ShmEnvelope(
+        kind=KIND_OBJECT, blob=blob, segment=shm.name, owner=pool.rank,
+        buffers=tuple(spans), dtype=None, shape=None, crc=crc,
+        nbytes=len(blob) + oob, oob_bytes=oob, fallback_bytes=0,
+    )
+
+
+def _encode_array(arr: np.ndarray, pool: ShmPool) -> ShmEnvelope:
+    """Bare-array fast path: no pickle at all, header carries dtype/shape."""
+    if arr.nbytes == 0:
+        return ShmEnvelope(
+            kind=KIND_ARRAY, blob=None, segment=None, owner=pool.rank,
+            buffers=(), dtype=arr.dtype.str, shape=tuple(arr.shape),
+            crc=0, nbytes=0, oob_bytes=0, fallback_bytes=0,
+        )
+    shm = pool.acquire(arr.nbytes)
+    flat = arr.reshape(-1).view(np.uint8)
+    shm.buf[: arr.nbytes] = flat
+    return ShmEnvelope(
+        kind=KIND_ARRAY, blob=None, segment=shm.name, owner=pool.rank,
+        buffers=((0, arr.nbytes),), dtype=arr.dtype.str,
+        shape=tuple(arr.shape), crc=zlib.crc32(flat), nbytes=arr.nbytes,
+        oob_bytes=arr.nbytes, fallback_bytes=0,
+    )
+
+
+# -- decoding ---------------------------------------------------------------
+
+
+class _Lease:
+    """Counts live views over one mapped segment; releases it at zero."""
+
+    __slots__ = ("_shm", "_release_cb", "_left", "_lock")
+
+    def __init__(self, shm: SharedMemory, release_cb: Optional[Callable[[], None]], views: int) -> None:
+        self._shm = shm
+        self._release_cb = release_cb
+        self._left = views
+        self._lock = threading.Lock()
+
+    def drop(self) -> None:
+        """One view died; on the last one, unmap and notify the owner.
+
+        The release is posted *before* the close: the last view is already
+        unreadable, so the owner may recycle the block, and the close may
+        legitimately fail right now (the dying view's buffer export is
+        still held during finalization) — such mappings are parked and
+        swept by the next transport operation.
+        """
+        with self._lock:
+            self._left -= 1
+            if self._left:
+                return
+        if self._release_cb is not None:
+            try:
+                self._release_cb()
+            except Exception:  # queue already gone at interpreter exit
+                pass
+        try:
+            self._shm.close()
+        except BufferError:
+            _park_close(self._shm)
+
+
+def decode_payload(
+    envelope: ShmEnvelope,
+    release_cb: Optional[Callable[[], None]] = None,
+    copy: bool = False,
+) -> Any:
+    """Rebuild the object described by ``envelope`` in this process.
+
+    With ``copy=False`` (the worker hot path) arrays are *views* over the
+    mapped segment, marked read-only so a stray in-place mutation fails
+    loudly instead of corrupting a pooled block; ``release_cb`` fires when
+    the last view is garbage-collected.  With ``copy=True`` (the spawner
+    materializing worker results) bytes are copied out, the mapping is
+    closed immediately, and the returned arrays are ordinary writable
+    memory.
+    """
+    if envelope.kind == KIND_INLINE:
+        assert envelope.blob is not None
+        if zlib.crc32(envelope.blob) != envelope.crc:
+            raise MPIError("shared-memory transport: corrupt inline payload (crc mismatch)")
+        return pickle.loads(envelope.blob)
+
+    sweep_pending_closes()
+    if envelope.segment is None:  # empty bare array
+        return np.empty(envelope.shape or (0,), dtype=np.dtype(envelope.dtype))
+
+    shm = _attach(envelope.segment)
+    try:
+        return _decode_mapped(envelope, shm, release_cb, copy)
+    except Exception:
+        # views created before the failure may still hold buffer exports;
+        # park the mapping rather than let BufferError mask the real error
+        try:
+            shm.close()
+        except BufferError:
+            _park_close(shm)
+        raise
+
+
+def _decode_mapped(
+    envelope: ShmEnvelope,
+    shm: SharedMemory,
+    release_cb: Optional[Callable[[], None]],
+    copy: bool,
+) -> Any:
+    crc = zlib.crc32(envelope.blob) if envelope.blob is not None else 0
+
+    if copy:
+        chunks: list[bytearray] = []
+        for offset, nbytes in envelope.buffers:
+            view = memoryview(shm.buf)[offset : offset + nbytes]
+            crc = zlib.crc32(view, crc)
+            chunks.append(bytearray(view))
+            view.release()
+        _check_crc(crc, envelope)
+        shm.close()
+        if release_cb is not None:
+            release_cb()
+        if envelope.kind == KIND_ARRAY:
+            arr = np.frombuffer(chunks[0], dtype=np.dtype(envelope.dtype))
+            return arr.reshape(envelope.shape)
+        assert envelope.blob is not None
+        return pickle.loads(envelope.blob, buffers=chunks)
+
+    views: list[np.ndarray] = []
+    for offset, nbytes in envelope.buffers:
+        view = np.frombuffer(shm.buf, dtype=np.uint8, count=nbytes, offset=offset)
+        crc = zlib.crc32(view, crc)
+        view.flags.writeable = False
+        views.append(view)
+    _check_crc(crc, envelope)
+    lease = _Lease(shm, release_cb, len(views))
+    for view in views:
+        weakref.finalize(view, lease.drop)
+    if envelope.kind == KIND_ARRAY:
+        return views[0].view(np.dtype(envelope.dtype)).reshape(envelope.shape)
+    assert envelope.blob is not None
+    return pickle.loads(envelope.blob, buffers=views)
+
+
+def _check_crc(crc: int, envelope: ShmEnvelope) -> None:
+    if crc != envelope.crc:
+        raise MPIError(
+            f"shared-memory transport: corrupt payload in segment "
+            f"{envelope.segment!r} (crc mismatch)"
+        )
+
+
+# -- spawner-side cleanup -----------------------------------------------------
+
+
+def unlink_segments(names: Iterable[str]) -> int:
+    """Unlink every named segment that still exists; return how many did."""
+    count = 0
+    for name in names:
+        try:
+            shm = _attach(name)
+        except FileNotFoundError:
+            continue
+        except OSError:
+            continue
+        try:
+            shm.close()
+        except BufferError:
+            pass
+        _track(name)
+        try:
+            shm.unlink()
+            count += 1
+        except FileNotFoundError:
+            _untrack(name)
+    return count
+
+
+def scan_segments(prefix: str) -> list[str]:
+    """Names under ``/dev/shm`` carrying ``prefix`` (empty off Linux)."""
+    shm_dir = "/dev/shm"
+    if not os.path.isdir(shm_dir):
+        return []
+    try:
+        return sorted(n for n in os.listdir(shm_dir) if n.startswith(prefix))
+    except OSError:
+        return []

@@ -749,6 +749,52 @@ class TestOutOfCore:
         assert not [d for d in result.diagnostics if d.code.startswith("PAP06")]
 
 
+class TestBackendFit:
+    """PAP07x: declared execution backend versus its runtime restrictions."""
+
+    INPUTS = [(BLAST_DB, "blast_db.xml")]
+
+    def test_pap070_process_backend_with_faults(self):
+        result = run_lint(
+            SPLIT_ONLY, inputs=self.INPUTS, backend="process", faults=True,
+            do_plan=False,
+        )
+        diag = expect(result, "PAP070")
+        assert "backend='process'" in diag.message
+        assert "mpi" in diag.suggestion
+        # advisory, not blocking: exit code stays clean without --strict
+        assert result.exit_code() == 0
+        assert result.exit_code(strict=True) == 1
+
+    def test_pap070_silent_on_the_threaded_backend(self):
+        result = run_lint(SPLIT_ONLY, inputs=self.INPUTS, backend="mpi", faults=True)
+        assert not [d for d in result.diagnostics if d.code == "PAP070"]
+
+    def test_pap070_silent_without_fault_tolerance(self):
+        result = run_lint(SPLIT_ONLY, inputs=self.INPUTS, backend="process")
+        assert not [d for d in result.diagnostics if d.code == "PAP070"]
+
+    def test_pap071_oversubscribed_ranks(self, monkeypatch):
+        from repro.analysis.rules import backend as backend_rules
+
+        monkeypatch.setattr(backend_rules, "available_cpus", lambda: 4)
+        result = run_lint(SPLIT_ONLY, inputs=self.INPUTS, backend="process", ranks=16)
+        diag = expect(result, "PAP071")
+        assert "16 process ranks" in diag.message
+        assert "4 CPU" in diag.message
+
+    def test_pap071_silent_when_ranks_fit(self, monkeypatch):
+        from repro.analysis.rules import backend as backend_rules
+
+        monkeypatch.setattr(backend_rules, "available_cpus", lambda: 8)
+        result = run_lint(SPLIT_ONLY, inputs=self.INPUTS, backend="process", ranks=8)
+        assert not [d for d in result.diagnostics if d.code == "PAP071"]
+
+    def test_rules_silent_without_a_declared_backend(self):
+        result = run_lint(SPLIT_ONLY, inputs=self.INPUTS, faults=True, ranks=10**6)
+        assert not [d for d in result.diagnostics if d.code.startswith("PAP07")]
+
+
 class TestCatalogIntegrity:
     def test_every_code_is_catalogued(self):
         assert len(CATALOG) >= 30

@@ -100,3 +100,79 @@ class TestProcessBackend:
 
         with pytest.raises(MPIError, match="cluster"):
             run_mpi_processes(_rank_id, 3, cluster=ClusterModel(num_nodes=1, ranks_per_node=2))
+
+
+def _numpy_shuffle_prog(comm):
+    """Alltoall of numpy columns: everything should ride shared memory."""
+    rng = np.random.default_rng(comm.rank)
+    chunks = [rng.integers(0, 100, size=1000) for _ in range(comm.size)]
+    got = comm.alltoall(chunks)
+    return int(sum(c.sum() for c in got))
+
+
+def _multi_round_shuffle_prog(comm):
+    """Several alltoall rounds with dropped references: exercises recycling."""
+    total = 0
+    for round_no in range(4):
+        rng = np.random.default_rng(100 * comm.rank + round_no)
+        got = comm.alltoall([rng.integers(0, 50, size=2000) for _ in range(comm.size)])
+        total += int(sum(c.sum() for c in got))
+        del got  # last views die -> segments flow back to their owners
+    return total
+
+
+def _crashing_shuffle_prog(comm):
+    """Crash one rank mid-shuffle, after segments are already in flight."""
+    comm.alltoall([np.arange(500) for _ in range(comm.size)])
+    if comm.rank == 1:
+        raise ValueError("rank 1 died mid-shuffle")
+    comm.alltoall([np.arange(500) for _ in range(comm.size)])
+    return comm.rank
+
+
+class TestTransportAccounting:
+    def test_transport_summary_in_extra(self):
+        run = run_mpi_processes(_numpy_shuffle_prog, 3)
+        t = run.extra["transport"]
+        assert t["kind"] == "shm"
+        assert t["shm_bytes"] > 0
+        assert t["segments_created"] > 0
+        assert t["segments_unlinked"] >= 0
+        assert set(t["per_rank"]) == {0, 1, 2}
+
+    def test_numpy_payloads_never_pickle(self):
+        # the zero-copy guarantee: array bytes travel via shared memory,
+        # the pickle lane stays at exactly zero
+        run = run_mpi_processes(_numpy_shuffle_prog, 4)
+        t = run.extra["transport"]
+        assert t["pickle_bytes"] == 0
+        assert all(r["pickle_bytes"] == 0 for r in t["per_rank"].values())
+        assert t["shm_bytes"] >= 4 * 4 * 1000  # every column out-of-band
+
+    def test_segments_recycled_across_rounds(self):
+        run = run_mpi_processes(_multi_round_shuffle_prog, 3)
+        t = run.extra["transport"]
+        assert t["segments_reused"] > 0
+        # the pool caps allocation well below the total bytes shuffled
+        assert t["shm_bytes_allocated"] < t["shm_bytes"]
+
+    def test_thread_backend_leaves_shm_lanes_at_zero(self):
+        run = run_mpi(_numpy_shuffle_prog, 3)
+        assert "transport" not in run.extra
+
+
+class TestShmCleanup:
+    def test_no_leaked_segments_on_clean_exit(self):
+        from repro.mpi.shm import scan_segments
+
+        run = run_mpi_processes(_numpy_shuffle_prog, 3)
+        prefix = run.extra["transport"]["shm_prefix"]
+        assert scan_segments(prefix) == []
+
+    def test_no_leaked_segments_after_crash(self):
+        from repro.mpi.shm import scan_segments
+
+        before = set(scan_segments("pp"))
+        with pytest.raises(ValueError, match="mid-shuffle"):
+            run_mpi_processes(_crashing_shuffle_prog, 3)
+        assert set(scan_segments("pp")) - before == set()

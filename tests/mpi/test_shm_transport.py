@@ -1,0 +1,212 @@
+"""Unit tests for the shared-memory payload transport (repro.mpi.shm)."""
+
+import dataclasses
+import gc
+import queue
+import secrets
+
+import numpy as np
+import pytest
+
+from repro.errors import MPIError
+from repro.mpi.shm import (
+    KIND_ARRAY,
+    KIND_INLINE,
+    KIND_OBJECT,
+    MIN_SEGMENT,
+    ShmPool,
+    _attach,
+    decode_payload,
+    encode_payload,
+    scan_segments,
+    sweep_pending_closes,
+    unlink_segments,
+)
+
+
+@pytest.fixture
+def prefix():
+    return f"tst{secrets.token_hex(4)}"
+
+
+@pytest.fixture
+def pool(prefix):
+    release = queue.Queue()
+    names = queue.Queue()
+    p = ShmPool(prefix, rank=0, release_queue=release, names_queue=names)
+    yield p
+    gc.collect()
+    sweep_pending_closes()
+    p.close()
+    unlink_segments(scan_segments(prefix))
+    assert scan_segments(prefix) == []
+
+
+def _roundtrip(obj, pool, **kw):
+    return decode_payload(encode_payload(obj, pool), **kw)
+
+
+class TestEncodeKinds:
+    def test_bare_array_skips_pickle(self, pool):
+        env = encode_payload(np.arange(100, dtype=np.int64), pool)
+        assert env.kind == KIND_ARRAY
+        assert env.blob is None
+        assert env.oob_bytes == 800
+        assert env.fallback_bytes == 0
+
+    def test_structured_array_keeps_fields_via_pickle(self, pool):
+        arr = np.zeros(10, dtype=[("a", "i8"), ("b", "f4")])
+        env = encode_payload(arr, pool)
+        assert env.kind == KIND_OBJECT
+        out = decode_payload(env)
+        assert out.dtype == arr.dtype
+        np.testing.assert_array_equal(out["a"], arr["a"])
+
+    def test_containers_with_arrays_go_out_of_band(self, pool):
+        obj = {"xs": np.arange(1000.0), "label": "chunk-3"}
+        env = encode_payload(obj, pool)
+        assert env.kind == KIND_OBJECT
+        assert env.oob_bytes >= 8000
+        assert env.fallback_bytes == 0
+
+    def test_plain_objects_stay_inline(self, pool):
+        env = encode_payload({"rank": 3, "label": "done"}, pool)
+        assert env.kind == KIND_INLINE
+        assert env.segment is None
+        assert env.oob_bytes == 0
+        assert env.fallback_bytes == 0
+
+    def test_empty_array_needs_no_segment(self, pool):
+        env = encode_payload(np.empty((0, 4), dtype=np.float32), pool)
+        assert env.segment is None
+        out = decode_payload(env)
+        assert out.shape == (0, 4)
+        assert out.dtype == np.float32
+        assert pool.stats.created == 0
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("dtype", ["i1", "u2", "i4", "i8", "f4", "f8", "c16"])
+    def test_bare_array_all_dtypes(self, pool, dtype):
+        arr = (np.arange(257) * 3).astype(dtype)
+        np.testing.assert_array_equal(_roundtrip(arr, pool), arr)
+
+    def test_multidimensional_shape_preserved(self, pool):
+        arr = np.arange(24.0).reshape(2, 3, 4)
+        out = _roundtrip(arr, pool)
+        assert out.shape == (2, 3, 4)
+        np.testing.assert_array_equal(out, arr)
+
+    def test_noncontiguous_input_is_handled(self, pool):
+        base = np.arange(100, dtype=np.int64)
+        np.testing.assert_array_equal(_roundtrip(base[::2], pool), base[::2])
+
+    def test_nested_object_roundtrip(self, pool):
+        obj = {"a": np.arange(50.0), "b": [np.ones(3, dtype=np.int32), "x"], "n": 7}
+        out = _roundtrip(obj, pool)
+        np.testing.assert_array_equal(out["a"], obj["a"])
+        np.testing.assert_array_equal(out["b"][0], obj["b"][0])
+        assert out["b"][1] == "x"
+        assert out["n"] == 7
+
+    def test_views_are_read_only(self, pool):
+        out = _roundtrip(np.arange(10), pool)
+        with pytest.raises(ValueError):
+            out[0] = 99
+
+    def test_copy_mode_returns_writable_arrays(self, pool):
+        out = _roundtrip(np.arange(10), pool, copy=True)
+        out[0] = 99  # ordinary memory, not a segment view
+        assert out[0] == 99
+
+    def test_copy_mode_releases_immediately(self, pool):
+        fired = []
+        env = encode_payload(np.arange(10), pool)
+        decode_payload(env, release_cb=lambda: fired.append(env.segment), copy=True)
+        assert fired == [env.segment]
+
+
+class TestFallback:
+    def test_unpicklable_with_buffers_falls_back_inline(self, pool):
+        class FlakyOnce:
+            """Raises on the first pickle attempt, succeeds on the retry."""
+
+            calls = [0]
+
+            def __reduce__(self):
+                self.calls[0] += 1
+                if self.calls[0] == 1:
+                    raise RuntimeError("no out-of-band for me")
+                return (str, ("ok",))
+
+        env = encode_payload(FlakyOnce(), pool)
+        assert env.kind == KIND_INLINE
+        assert env.fallback_bytes == len(env.blob) > 0
+        assert decode_payload(env) == "ok"
+
+
+class TestCorruption:
+    def test_corrupt_segment_bytes_raise(self, pool):
+        env = encode_payload(np.arange(100, dtype=np.int64), pool)
+        shm = _attach(env.segment)
+        shm.buf[8] ^= 0xFF
+        shm.close()
+        with pytest.raises(MPIError, match="crc mismatch"):
+            decode_payload(env)
+
+    def test_corrupt_inline_blob_raises(self, pool):
+        env = encode_payload({"plain": True}, pool)
+        bad = dataclasses.replace(env, blob=env.blob[:-1] + b"\x00")
+        with pytest.raises(MPIError, match="crc mismatch"):
+            decode_payload(bad)
+
+    def test_corrupt_object_skeleton_raises(self, pool):
+        env = encode_payload({"xs": np.arange(100.0)}, pool)
+        bad = dataclasses.replace(env, crc=env.crc ^ 1)
+        with pytest.raises(MPIError, match="crc mismatch"):
+            decode_payload(bad)
+
+
+class TestPoolRecycling:
+    def test_release_cycle_reuses_segments(self, pool, prefix):
+        env = encode_payload(np.arange(512, dtype=np.int64), pool)
+        out = decode_payload(
+            env, release_cb=lambda: pool._release_queue.put(env.segment)
+        )
+        assert pool.stats.created == 1
+        del out
+        gc.collect()
+        env2 = encode_payload(np.arange(512, dtype=np.int64), pool)
+        assert env2.segment == env.segment
+        assert pool.stats.reused == 1
+        assert pool.stats.created == 1
+
+    def test_size_classes_are_powers_of_two(self, pool):
+        pool.acquire(1)
+        pool.acquire(MIN_SEGMENT + 1)
+        assert pool.stats.bytes_allocated == MIN_SEGMENT + 2 * MIN_SEGMENT
+
+    def test_ledger_records_every_created_segment(self, pool):
+        encode_payload(np.arange(10), pool)
+        encode_payload({"xs": np.arange(9000.0)}, pool)
+        names = []
+        while True:
+            try:
+                names.append(pool._names_queue.get_nowait())
+            except queue.Empty:
+                break
+        assert len(names) == pool.stats.created == 2
+
+
+class TestSpawnerCleanup:
+    def test_unlink_segments_removes_everything(self, prefix):
+        pool = ShmPool(prefix, rank=0)
+        encode_payload(np.arange(100), pool)
+        encode_payload(np.arange(10000.0), pool)
+        assert len(scan_segments(prefix)) == 2
+        pool.close()
+        assert unlink_segments(scan_segments(prefix)) == 2
+        assert scan_segments(prefix) == []
+
+    def test_unlink_tolerates_missing_names(self):
+        assert unlink_segments(["definitely-not-a-segment-name"]) == 0
