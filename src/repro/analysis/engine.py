@@ -72,6 +72,7 @@ class Linter:
         assume_records: Optional[int] = None,
         backend: Optional[str] = None,
         faults: bool = False,
+        checkpoint: bool = False,
     ) -> None:
         #: schemas registered out-of-band (e.g. on a PaPar instance)
         self.schemas: dict[str, RecordSchema] = dict(schemas or {})
@@ -79,9 +80,11 @@ class Linter:
         #: declared memory budget / assumed record count (PAP06x rules)
         self.memory_budget = memory_budget
         self.assume_records = assume_records
-        #: intended execution backend / fault-tolerance flag (PAP07x rules)
+        #: intended execution backend / fault-injection / checkpoint flags
+        #: (PAP07x rules)
         self.backend = backend
         self.faults = faults
+        self.checkpoint = checkpoint
 
     # -- public API ----------------------------------------------------------
 
@@ -157,6 +160,7 @@ class Linter:
             assume_records=self.assume_records,
             backend=self.backend,
             faults=self.faults,
+            checkpoint=self.checkpoint,
         )
 
         # -- PAP051: supplied input configs nothing references ----------
@@ -267,12 +271,13 @@ def lint_workflow(
     assume_records: Optional[int] = None,
     backend: Optional[str] = None,
     faults: bool = False,
+    checkpoint: bool = False,
 ) -> LintResult:
     """Convenience one-call form of :class:`Linter`."""
     return Linter(
         schemas=schemas, ranks=ranks,
         memory_budget=memory_budget, assume_records=assume_records,
-        backend=backend, faults=faults,
+        backend=backend, faults=faults, checkpoint=checkpoint,
     ).lint(
         workflow_xml, filename=filename, inputs=inputs, args=args, do_plan=do_plan
     )
@@ -289,12 +294,13 @@ def lint_files(
     assume_records: Optional[int] = None,
     backend: Optional[str] = None,
     faults: bool = False,
+    checkpoint: bool = False,
 ) -> LintResult:
     """Convenience one-call form over files on disk."""
     return Linter(
         schemas=schemas, ranks=ranks,
         memory_budget=memory_budget, assume_records=assume_records,
-        backend=backend, faults=faults,
+        backend=backend, faults=faults, checkpoint=checkpoint,
     ).lint_paths(
         workflow_path, input_paths, args=args, do_plan=do_plan
     )

@@ -321,9 +321,11 @@ class LintContext:
     ranks: Optional[int] = None
     #: execution backend the user intends to run with (enables PAP07x)
     backend: Optional[str] = None
-    #: True when any fault-tolerance feature (faults/checkpoint/retry)
-    #: is declared for the intended run
+    #: True when *fault injection* specs are declared for the intended run
+    #: (checkpoint/retry recovery is tracked separately via ``checkpoint``)
     faults: bool = False
+    #: True when a checkpoint store/directory is declared for the run
+    checkpoint: bool = False
     #: declared per-rank memory budget spec (e.g. "64MB"), when given
     memory_budget: Optional[str] = None
     #: assumed input record count for budget sizing (with memory_budget)

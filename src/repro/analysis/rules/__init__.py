@@ -114,11 +114,14 @@ CATALOG: dict[str, RuleSpec] = {
               "the declared --memory-budget does not parse as a size"),
         # -- execution-backend fit (PAP07x) ----------------------------------
         _spec("PAP070", "process-backend-faults", Severity.WARNING,
-              "fault tolerance is declared but backend='process' cannot "
+              "fault injection is declared but backend='process' cannot "
               "run it; the runtime will refuse the configuration"),
         _spec("PAP071", "process-backend-oversubscribed", Severity.INFO,
               "more process ranks than CPU cores; forked ranks will "
               "time-slice instead of running in parallel"),
+        _spec("PAP072", "process-backend-unguarded", Severity.INFO,
+              "a large process-backend run declares no checkpoint store; "
+              "a single worker crash restarts it from scratch"),
         # -- analyzer self-diagnosis ----------------------------------------
         _spec("PAP099", "internal-error", Severity.ERROR,
               "a lint rule crashed; please report the configuration"),

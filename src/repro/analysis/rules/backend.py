@@ -1,13 +1,16 @@
-"""Execution-backend fit checks (PAP070-PAP071).
+"""Execution-backend fit checks (PAP070-PAP072).
 
 These rules only fire when the user *declares* the backend they intend to
 run with (``papar lint --backend process``): PAP070 warns ahead of the
-runtime's :class:`~repro.errors.ConfigError` when fault tolerance is
-declared together with ``backend='process'`` (the injector and recovery
-loop need the deterministic threaded fabric), and PAP071 notes when the
-intended rank count oversubscribes the machine's CPUs — forked ranks
-compete for cores, so extra ranks add shuffle volume without adding
-parallelism.
+runtime's :class:`~repro.errors.ConfigError` when *fault injection* is
+declared together with ``backend='process'`` (the injector's seeded draw
+streams need the deterministic threaded fabric; checkpoint/retry recovery
+is supported via gang-restart and does not trip this rule), PAP071 notes
+when the intended rank count oversubscribes the machine's CPUs — forked
+ranks compete for cores, so extra ranks add shuffle volume without adding
+parallelism — and PAP072 advises checkpointing for large process-backend
+runs, where a single worker crash otherwise restarts the whole gang from
+scratch.
 """
 
 from __future__ import annotations
@@ -25,19 +28,27 @@ def available_cpus() -> Optional[int]:
     return os.cpu_count()
 
 
+#: a process-backend run is "large" enough for the PAP072 checkpoint
+#: advisory at this many ranks ...
+LARGE_RUN_RANKS = 8
+#: ... or this many assumed input records
+LARGE_RUN_RECORDS = 1_000_000
+
+
 @checker
 def check_process_backend(ctx: LintContext) -> Iterator[Diagnostic]:
-    """PAP070/PAP071: declared backend versus its runtime restrictions."""
+    """PAP070-PAP072: declared backend versus its runtime restrictions."""
     if ctx.backend != "process":
         return
     if ctx.faults:
         yield ctx.diag(
             "PAP070",
-            "fault tolerance (faults/checkpoint/retry) is declared but "
-            "backend='process' cannot run it: injection and recovery need "
-            "the deterministic threaded fabric, so the run will be refused",
-            suggestion="use backend='mpi' for chaos runs, or drop the "
-            "fault-tolerance flags for wall-clock runs",
+            "fault injection (--faults) is declared but backend='process' "
+            "cannot run it: the injector's seeded draws need the "
+            "deterministic threaded fabric, so the run will be refused",
+            suggestion="use backend='mpi' for injected-chaos runs; "
+            "checkpoint/retry recovery works on backend='process' via "
+            "gang-restart",
         )
     cpus = available_cpus()
     if ctx.ranks is not None and cpus is not None and ctx.ranks > cpus:
@@ -48,4 +59,16 @@ def check_process_backend(ctx: LintContext) -> Iterator[Diagnostic]:
             "parallel",
             suggestion=f"use at most {cpus} ranks with backend='process', "
             "or backend='mpi' if the rank count models a larger cluster",
+        )
+    large = (ctx.ranks is not None and ctx.ranks >= LARGE_RUN_RANKS) or (
+        ctx.assume_records is not None and ctx.assume_records >= LARGE_RUN_RECORDS
+    )
+    if large and not ctx.checkpoint:
+        yield ctx.diag(
+            "PAP072",
+            "this is a large process-backend run with no checkpoint store "
+            "declared: a single worker crash (OOM kill, segfault, hang) "
+            "restarts the whole gang from scratch",
+            suggestion="pass --checkpoint-dir (DiskCheckpointStore) so a "
+            "gang-restart resumes from the committed job prefix",
         )

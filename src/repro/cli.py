@@ -91,9 +91,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="intended execution backend "
                              "(enables the backend-fit rules, PAP07x)")
     p_lint.add_argument("--faults", action="append", default=[], metavar="SPEC",
-                        help="fault spec the run would use (repeatable); "
-                             "with --backend process, PAP070 warns that the "
-                             "runtime will refuse it")
+                        help="fault-injection spec the run would use "
+                             "(repeatable); with --backend process, PAP070 "
+                             "warns that the runtime will refuse injection")
+    p_lint.add_argument("--checkpoint-dir", metavar="DIR",
+                        help="checkpoint directory the run would use; "
+                             "silences PAP072 for large process-backend runs")
 
     p_plan = sub.add_parser("plan", help="print the planned job sequence")
     common(p_plan)
@@ -120,10 +123,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="seed for fault-injection draws and retry jitter")
     p_run.add_argument("--checkpoint-dir", metavar="DIR",
                        help="checkpoint job outputs here; a failed run "
-                            "resumes from the last fully-committed job")
+                            "resumes from the last fully-committed job "
+                            "(with --backend process this drives the "
+                            "gang-restart after a worker crash)")
     p_run.add_argument("--max-attempts", type=int, default=None, metavar="N",
                        help="retry budget for faulty runs (default 5 when "
                             "fault tolerance is active)")
+    p_run.add_argument("--crash-agent", default=None, metavar="SPEC",
+                       help="chaos harness for --backend process: really "
+                            "kill/hang/exit one rank at a job boundary, e.g. "
+                            "'kill:rank=1,job=0,when=before,"
+                            "marker=/tmp/fired' (the marker file makes it "
+                            "fire once, so a checkpointed retry recovers)")
     p_run.add_argument("--deadlock-grace", type=float, default=None,
                        metavar="SECONDS",
                        help="blocked-wait budget before a DeadlockError "
@@ -161,6 +172,7 @@ def cmd_lint(ns: argparse.Namespace) -> int:
         assume_records=ns.assume_records,
         backend=ns.backend,
         faults=bool(ns.faults),
+        checkpoint=bool(ns.checkpoint_dir),
     ).lint_paths(
         ns.workflow,
         ns.input,
@@ -189,11 +201,9 @@ def _lint_gate(ns: argparse.Namespace, papar: PaPar) -> Optional[int]:
         ranks=getattr(ns, "ranks", None),
         memory_budget=getattr(ns, "memory_budget", None),
         backend=getattr(ns, "backend", None),
-        faults=bool(
-            getattr(ns, "faults", None)
-            or getattr(ns, "checkpoint_dir", None)
-            or getattr(ns, "max_attempts", None)
-        ),
+        # injection specs only: checkpoint/retry are recovery, legal everywhere
+        faults=bool(getattr(ns, "faults", None)),
+        checkpoint=bool(getattr(ns, "checkpoint_dir", None)),
     )
     if result.errors:
         for diag in result.errors:
@@ -284,16 +294,25 @@ def print_stats(result) -> None:
 
 
 def print_fault_report(result) -> None:
-    """Render ``extra['fault']`` (attempts, recovered jobs, injected faults)."""
+    """Render ``extra['fault']`` (attempts, recovery, crashes, injections)."""
     fault = result.extra.get("fault")
     if not fault:
         return
     recovered = ", ".join(fault["recovered_jobs"]) or "none"
+    if "backoff_wall_s" in fault:
+        backoff = f"backoff {fault['backoff_wall_s']:.3f} s wall"
+    else:
+        backoff = f"backoff {fault['backoff_virtual_s']:.3f} s virtual"
     print(
         f"fault tolerance: {fault['attempts']} attempt(s), "
-        f"recovered jobs: {recovered}, "
-        f"backoff {fault['backoff_virtual_s']:.3f} s virtual"
+        f"recovered jobs: {recovered}, {backoff}"
     )
+    for crash in fault.get("crashes", []):
+        signal_name = f" ({crash['signal']})" if crash.get("signal") else ""
+        print(
+            f"  crash: attempt {crash['attempt']} rank {crash['rank']} "
+            f"{crash['kind']}{signal_name}"
+        )
     injected = fault.get("injected")
     if injected and injected.get("counts"):
         fired = ", ".join(f"{k}={v}" for k, v in sorted(injected["counts"].items()))
@@ -326,10 +345,31 @@ def cmd_run(ns: argparse.Namespace) -> int:
 
         recorder = Recorder()
         fault_tolerance["recorder"] = recorder
-    out = papar.partition_files(
-        workflow, args, backend=ns.backend, num_ranks=ns.ranks,
-        memory_budget=ns.memory_budget, **fault_tolerance
-    )
+    armed = False
+    if ns.crash_agent:
+        # validate the spec up front, then arm the process backend through
+        # its environment channel (read at gang spawn time, every attempt)
+        import os
+
+        from repro.mpi.supervisor import CrashAgent
+
+        try:
+            CrashAgent.from_spec(ns.crash_agent)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        os.environ["PAPAR_CRASH_AGENT"] = ns.crash_agent
+        armed = True
+    try:
+        out = papar.partition_files(
+            workflow, args, backend=ns.backend, num_ranks=ns.ranks,
+            memory_budget=ns.memory_budget, **fault_tolerance
+        )
+    finally:
+        if armed:
+            import os
+
+            os.environ.pop("PAPAR_CRASH_AGENT", None)
     print(f"wrote {out.num_partitions} partition(s):")
     for path, part in zip(out.output_paths, out.partitions):
         print(f"  {path}  ({part.num_records} records)")

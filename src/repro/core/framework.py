@@ -89,6 +89,7 @@ class PaPar:
         assume_records: Optional[int] = None,
         backend: Optional[str] = None,
         faults: bool = False,
+        checkpoint: bool = False,
     ):
         """Statically analyze a workflow configuration without executing it.
 
@@ -112,7 +113,7 @@ class PaPar:
         return Linter(
             schemas=self._schemas, ranks=ranks,
             memory_budget=memory_budget, assume_records=assume_records,
-            backend=backend, faults=faults,
+            backend=backend, faults=faults, checkpoint=checkpoint,
         ).lint(
             xml,
             filename=filename,
@@ -132,6 +133,7 @@ class PaPar:
         assume_records: Optional[int] = None,
         backend: Optional[str] = None,
         faults: bool = False,
+        checkpoint: bool = False,
     ):
         """Statically analyze configuration files (see :meth:`lint`)."""
         from repro.analysis.engine import Linter
@@ -139,7 +141,7 @@ class PaPar:
         return Linter(
             schemas=self._schemas, ranks=ranks,
             memory_budget=memory_budget, assume_records=assume_records,
-            backend=backend, faults=faults,
+            backend=backend, faults=faults, checkpoint=checkpoint,
         ).lint_paths(
             os.fspath(workflow_path),
             [os.fspath(p) for p in input_paths],
@@ -292,7 +294,8 @@ class PaPar:
         if backend == "serial":
             if faults is not None or checkpoint is not None or retry is not None:
                 raise WorkflowError(
-                    "fault tolerance needs an SPMD backend; use 'mpi' or 'mapreduce'"
+                    "fault tolerance needs an SPMD backend; use 'mpi' or "
+                    "'mapreduce' (or 'process' for checkpoint/retry recovery)"
                 )
             return SerialRuntime(
                 recorder=recorder, memory_budget=memory_budget

@@ -13,12 +13,22 @@ the features that depend on shared in-process state are rejected *up
 front* with a :class:`~repro.errors.ConfigError` instead of crashing
 mid-run:
 
-* fault injection / checkpoint / retry (``faults=``, ``checkpoint=``,
-  ``retry=``) — the injector and recovery loop coordinate through shared
-  memory only threads have;
+* *simulated* fault injection (``faults=``) — the injector's seeded draw
+  streams coordinate through shared memory only threads have (real
+  OS-level chaos is available through
+  :class:`~repro.mpi.supervisor.CrashAgent` instead);
 * ``Communicator.split``/``dup`` additionally raise
   :class:`~repro.errors.MPIError` from the fabric if a custom rank program
   calls them.
+
+Recovery *is* supported: ``checkpoint=`` (a ``process_safe`` store, i.e.
+:class:`~repro.fault.DiskCheckpointStore`) and ``retry=`` drive a
+**gang-restart** — when the :class:`~repro.mpi.supervisor.Supervisor`
+reports a dead or hung rank, the whole gang is torn down (shm segments
+swept), the retry backoff is slept for real wall-clock time, and a fresh
+gang resumes from the committed checkpoint prefix, replaying only
+uncommitted jobs.  The classified crashes land in
+``PartitionResult.extra["fault"]["crashes"]``.
 
 Supported everywhere else: cluster models (virtual clocks ride along),
 memory budgets (workers spill run files into the driver's spill
@@ -51,15 +61,23 @@ def _rank_main(
     plan: WorkflowPlan,
     input_data: Dataset,
     ooc_spec: Any = None,
+    checkpoint: Any = None,
+    resume: int = 0,
+    fingerprint: str = "",
 ) -> tuple[dict, Any]:
     """Worker entry point: run the rank program, return (final, perf).
 
     The thread launcher shares one ``perf_slots`` list across ranks; a
     process cannot, so each worker returns its own counter alongside the
-    partition dict and the spawner reassembles the slots.
+    partition dict and the spawner reassembles the slots.  The checkpoint
+    store crosses the fork boundary by value — that is sound only for
+    ``process_safe`` stores (disk-backed), which the runtime enforces.
     """
     slots: list = [None] * comm.size
-    final = runtime._rank_program(comm, plan, input_data, slots, ooc_spec=ooc_spec)
+    final = runtime._rank_program(
+        comm, plan, input_data, slots, ooc_spec=ooc_spec,
+        checkpoint=checkpoint, resume=resume, fingerprint=fingerprint,
+    )
     return final, slots[comm.rank]
 
 
@@ -82,30 +100,36 @@ class ProcessRuntime(MPIRuntime):
         recorder: Any = None,
         memory_budget: Any = None,
         timeout: float = 600.0,
+        hang_timeout: Optional[float] = None,
     ) -> None:
-        unsupported = [
-            name
-            for name, value in (
-                ("faults", faults), ("checkpoint", checkpoint), ("retry", retry)
-            )
-            if value is not None
-        ]
-        if unsupported:
+        if faults is not None:
             raise ConfigError(
-                f"backend='process' does not support {', '.join(unsupported)}: "
+                "backend='process' does not support faults: "
                 "fault injection and recovery need the deterministic threaded "
                 "fabric; use backend='mpi' for chaos runs"
+            )
+        if checkpoint is not None and not getattr(checkpoint, "process_safe", False):
+            raise ConfigError(
+                "backend='process' needs a process-safe checkpoint store "
+                "(DiskCheckpointStore): an in-memory store cannot cross the "
+                "fork boundary back to the spawner"
             )
         super().__init__(
             num_ranks,
             cluster,
             sample_size,
+            chaos_seed=chaos_seed,
+            checkpoint=checkpoint,
+            retry=retry,
             deadlock_grace=deadlock_grace,
             recorder=recorder,
             memory_budget=memory_budget,
         )
         #: wall-clock seconds the spawner waits for all workers to finish
         self.timeout = timeout
+        #: heartbeat-silence seconds before a live rank is declared hung
+        #: (``None`` = the supervisor's default)
+        self.hang_timeout = hang_timeout
         self._transport: Optional[dict[str, Any]] = None
 
     def _execute_spmd(
@@ -113,27 +137,63 @@ class ProcessRuntime(MPIRuntime):
     ) -> tuple[MPIRun, list, Optional[dict[str, Any]]]:
         from repro.mpi.process_backend import run_mpi_processes
 
-        kwargs: dict[str, Any] = {}
+        worker_kwargs: dict[str, Any] = {}
         if self._spill_dir is not None:
-            kwargs["ooc_spec"] = (self._ooc_limit, self._spill_dir)
-        run = run_mpi_processes(
-            _rank_main,
-            self.num_ranks,
-            cluster=self.cluster,
-            args=(self, plan, input_data),
-            kwargs=kwargs or None,
-            timeout=self.timeout,
-            **(
-                {"collect_timeout": self.deadlock_grace}
-                if self.deadlock_grace is not None
-                else {}
-            ),
-        )
+            worker_kwargs["ooc_spec"] = (self._ooc_limit, self._spill_dir)
+        launch_kwargs: dict[str, Any] = {}
+        if self.deadlock_grace is not None:
+            launch_kwargs["collect_timeout"] = self.deadlock_grace
+        if self.hang_timeout is not None:
+            launch_kwargs["hang_timeout"] = self.hang_timeout
+
+        def launch(extra: dict[str, Any]) -> MPIRun:
+            return run_mpi_processes(
+                _rank_main,
+                self.num_ranks,
+                cluster=self.cluster,
+                args=(self, plan, input_data),
+                kwargs={**worker_kwargs, **extra} or None,
+                timeout=self.timeout,
+                **launch_kwargs,
+            )
+
+        if not self.fault_tolerant:
+            run = launch({})
+            report = None
+        else:
+            from repro.fault.checkpoint import plan_fingerprint
+            from repro.fault.runner import execute_with_recovery
+
+            fingerprint = plan_fingerprint(plan, input_data, self.num_ranks)
+
+            def attempt(resume: int, _start_time: float) -> MPIRun:
+                # forked workers read/write the disk store directly; the
+                # spawner-side `launch` tears a failed gang down (shm sweep
+                # included) before the recovery loop sleeps and retries
+                return launch(
+                    {
+                        "checkpoint": self.checkpoint,
+                        "resume": resume,
+                        "fingerprint": fingerprint,
+                    }
+                )
+
+            run, report = execute_with_recovery(
+                attempt,
+                plan=plan,
+                fingerprint=fingerprint,
+                size=self.num_ranks,
+                store=self.checkpoint,
+                retry=self.retry,
+                seed=self.chaos_seed,
+                recorder=self.recorder,
+                wall_clock=True,
+            )
         finals = [final for final, _perf in run.results]
         perf_slots = [perf for _final, perf in run.results]
         run.results = finals
         self._transport = run.extra.get("transport")
-        return run, perf_slots, None
+        return run, perf_slots, report
 
     def _execute(self, plan: WorkflowPlan, input_data: Dataset) -> PartitionResult:
         result = super()._execute(plan, input_data)

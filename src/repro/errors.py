@@ -55,6 +55,44 @@ class DeadlockError(MPIError):
         self.pending = dict(pending or {})
 
 
+class WorkerCrash(MPIError):
+    """A rank process died or froze underneath the process-backend supervisor.
+
+    Raised by :class:`repro.mpi.supervisor.Supervisor` when a worker's
+    sentinel fires without an exit message (killed by a signal, nonzero
+    ``os._exit``, silent death) or its heartbeat lane goes quiet (hang).
+    Carries enough structure for the gang-restart report printed by the CLI.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        rank: int = -1,
+        kind: str = "signal",
+        exitcode: int | None = None,
+        signal_name: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        #: the rank whose process died or hung
+        self.rank = rank
+        #: one of ``"signal"``, ``"exit"``, ``"silent"``, ``"hang"``
+        self.kind = kind
+        #: raw ``Process.exitcode`` (negative = killed by that signal)
+        self.exitcode = exitcode
+        #: symbolic signal name (``"SIGKILL"``...) when killed by a signal
+        self.signal_name = signal_name
+
+    def as_report(self) -> dict:
+        """The crash as a plain dict for ``extra["fault"]["crashes"]``."""
+        return {
+            "rank": self.rank,
+            "kind": self.kind,
+            "exitcode": self.exitcode,
+            "signal": self.signal_name,
+            "detail": str(self),
+        }
+
+
 class InjectedFault(MPIError):
     """A failure deliberately injected by the fault-injection layer."""
 

@@ -17,7 +17,10 @@ be studied on the simulator:
   last fully-committed job instead of starting over.
 * :class:`RetryPolicy` + :func:`execute_with_recovery` — bounded retries
   with exponential backoff and deterministic jitter, charged to the
-  *virtual* clock of the next attempt.
+  *virtual* clock of the next attempt — or, on the process backend's
+  gang-restart (``wall_clock=True``), slept for real and reported as
+  ``backoff_wall_s`` alongside the classified
+  :class:`~repro.errors.WorkerCrash` reports.
 
 Fault-free runs pay nothing: every hook is behind an ``injector is None``
 check and the runtimes bypass the recovery loop entirely when no fault

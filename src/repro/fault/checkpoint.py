@@ -14,8 +14,13 @@ of the attempt stay aligned.
 
 Two stores are provided: :class:`MemoryCheckpointStore` (values round-trip
 through pickle, so later mutation of a live object cannot corrupt the
-snapshot) and :class:`DiskCheckpointStore` (one file per key, written
-atomically via rename so a crashed writer never leaves a torn checkpoint).
+snapshot) and :class:`DiskCheckpointStore` (one file per key, fsynced and
+atomically renamed into place, with a crc-verified footer so a torn file —
+a writer killed mid-``write`` or a machine crash before the rename — is
+detected on load and treated as *missing*, never as committed).  Only the
+disk store is ``process_safe``: its state survives the fork boundary, so
+it is the one :class:`~repro.core.process_runtime.ProcessRuntime` accepts
+for gang-restart.
 """
 
 from __future__ import annotations
@@ -24,13 +29,22 @@ import os
 import pickle
 import threading
 import urllib.parse
+import zlib
 from typing import Any, Iterable
 
 from repro.errors import FaultToleranceError
 
+#: trailing magic of a fully committed checkpoint file (format version 1)
+_FOOTER_MAGIC = b"PaParCk1"
+#: footer = crc32(blob) little-endian u32 + magic
+_FOOTER_LEN = 4 + len(_FOOTER_MAGIC)
+
 
 class CheckpointStore:
     """Interface: a key/value store for job-output snapshots."""
+
+    #: whether snapshots are visible across a fork/process boundary
+    process_safe = False
 
     def save(self, key: str, value: Any) -> None:
         """Persist ``value`` under ``key``, overwriting any prior snapshot."""
@@ -104,13 +118,22 @@ class MemoryCheckpointStore(CheckpointStore):
 
 
 class DiskCheckpointStore(CheckpointStore):
-    """One pickle file per key under ``directory``; atomic via rename.
+    """One pickle file per key under ``directory``; crash-safe commits.
+
+    A commit is temp file → ``flush`` → ``fsync`` → atomic ``os.replace``,
+    and the file ends in a crc32-verified footer.  A torn file (writer
+    killed mid-write, power loss before the rename made it durable) fails
+    the footer check and is treated as *missing* — the committed-prefix
+    rule then re-runs that job instead of restoring garbage.
 
     Keys are percent-encoded into filenames so they round-trip losslessly
     through :meth:`keys`.
     """
 
     _SUFFIX = ".ckpt"
+
+    #: snapshots live on disk, so forked worker processes share them
+    process_safe = True
 
     def __init__(self, directory: str | os.PathLike) -> None:
         self.directory = os.fspath(directory)
@@ -122,24 +145,42 @@ class DiskCheckpointStore(CheckpointStore):
         )
 
     def save(self, key: str, value: Any) -> None:
-        """Write ``value`` to a temp file, then atomically rename into place."""
+        """Commit ``value``: temp file, fsync, footer, atomic rename."""
         path = self._path(key)
+        blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
         tmp = f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
         with open(tmp, "wb") as fh:
-            pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            fh.write(blob)
+            fh.write(zlib.crc32(blob).to_bytes(4, "little"))
+            fh.write(_FOOTER_MAGIC)
+            fh.flush()
+            os.fsync(fh.fileno())
         os.replace(tmp, path)
 
-    def load(self, key: str) -> Any:
-        """Unpickle the snapshot file under ``key``; error if absent."""
+    def _read_committed(self, key: str) -> bytes | None:
+        """The pickled blob under ``key``, or ``None`` if absent or torn."""
         try:
             with open(self._path(key), "rb") as fh:
-                return pickle.load(fh)
+                raw = fh.read()
         except FileNotFoundError:
+            return None
+        if len(raw) < _FOOTER_LEN or raw[-len(_FOOTER_MAGIC):] != _FOOTER_MAGIC:
+            return None
+        blob = raw[:-_FOOTER_LEN]
+        if zlib.crc32(blob) != int.from_bytes(raw[-_FOOTER_LEN:-len(_FOOTER_MAGIC)], "little"):
+            return None
+        return blob
+
+    def load(self, key: str) -> Any:
+        """Unpickle the snapshot under ``key``; torn files count as absent."""
+        blob = self._read_committed(key)
+        if blob is None:
             raise FaultToleranceError(f"no checkpoint under key {key!r}") from None
+        return pickle.loads(blob)
 
     def contains(self, key: str) -> bool:
-        """Whether a snapshot file exists under ``key``."""
-        return os.path.exists(self._path(key))
+        """Whether a *committed* (footer-verified) snapshot exists."""
+        return self._read_committed(key) is not None
 
     def keys(self) -> list[str]:
         """All stored keys (decoded from their filenames), sorted."""

@@ -3,7 +3,9 @@
 Backoff is charged to the *virtual* clock of the next attempt (its per-rank
 clocks start at the accumulated backoff time), so recovery cost shows up in
 the simulated makespan exactly like a real re-submission delay would —
-without sleeping any wall-clock time.
+without sleeping any wall-clock time.  The one exception is the process
+backend's gang-restart (``execute_with_recovery(wall_clock=True)``), where
+workers really died and the same delays are slept for real.
 """
 
 from __future__ import annotations

@@ -20,15 +20,28 @@ Semantics match the thread backend with documented restrictions:
   rendezvous state only threads can share cheaply) and raise
   :class:`~repro.errors.MPIError`; the runtimes reject them earlier with a
   :class:`~repro.errors.ConfigError`;
-* fault injection / chaos schedules stay on the threaded backend — the
-  deterministic substrate — and are rejected up front.
+* *simulated* fault injection / chaos schedules stay on the threaded
+  backend — the deterministic substrate — and are rejected up front;
+  recovery (checkpoint + retry) is supported via gang-restart, and real
+  OS-level chaos is available through the
+  :class:`~repro.mpi.supervisor.CrashAgent` harness.
+
+The spawner does not block blindly on the result queue: a
+:class:`~repro.mpi.supervisor.Supervisor` watches worker sentinels and a
+heartbeat lane alongside it, so a dead or hung rank surfaces as a
+classified :class:`~repro.errors.WorkerCrash` within seconds instead of
+the full run timeout (see ``docs/process-backend.md``).
 
 Each worker ships its :class:`~repro.mpi.fabric.TrafficStats` and segment
 pool counters back in its exit message; the spawner merges them into
 ``MPIRun.extra["transport"]`` so per-rank traffic survives the process
-boundary.  Cleanup discipline: workers never unlink; the spawner unlinks
-the union of the names ledger and a ``/dev/shm`` prefix scan after the
-workers are gone, so neither a clean exit nor a crash leaks segments.
+boundary — on failure the queue is drained best-effort so the accounting
+covers every rank that managed to report, and the raised error carries the
+summary as ``papar_transport``.  Cleanup discipline: workers never unlink;
+the spawner unlinks the union of the names ledger and a ``/dev/shm``
+prefix scan after the workers are gone (terminate, then ``kill()`` for
+anything that survives :data:`TERM_GRACE`), so neither a clean exit nor a
+crash leaks segments or child processes.
 """
 
 from __future__ import annotations
@@ -57,9 +70,21 @@ from repro.mpi.shm import (
     sweep_pending_closes,
     unlink_segments,
 )
+from repro.mpi.supervisor import (
+    DEFAULT_HANG_TIMEOUT,
+    CrashAgent,
+    HeartbeatSender,
+    Supervisor,
+)
 
 #: seconds a worker blocks on its inbox before declaring the run stuck
 DEFAULT_COLLECT_TIMEOUT = 300.0
+#: seconds a terminated worker gets to die before escalation to ``kill()``
+TERM_GRACE = 10.0
+#: seconds a killed worker gets to be reaped (SIGKILL cannot be ignored)
+KILL_GRACE = 5.0
+#: seconds to wait for sibling exit messages after the first worker error
+ERROR_DRAIN_GRACE = 0.5
 
 
 class ShmFabric:
@@ -206,7 +231,7 @@ def _drain(queue: Any) -> list[Any]:
             items.append(queue.get_nowait())
         except queue_mod.Empty:
             return items
-        except (OSError, ValueError):
+        except Exception:  # closed queue, or a killed writer tore a message
             return items
 
 
@@ -216,9 +241,11 @@ def _process_worker(
     release_queues: Sequence[Any],
     names_queue: Any,
     result_queue: Any,
+    heartbeat_queue: Any,
     cluster: Optional[ClusterModel],
     prefix: str,
     collect_timeout: float,
+    crash_agent: Optional[CrashAgent],
     fn: Callable[..., Any],
     args: Sequence[Any],
     kwargs: dict[str, Any],
@@ -226,8 +253,14 @@ def _process_worker(
     """Entry point of one rank process (forked: fn/args arrive by COW memory)."""
     pool = ShmPool(prefix, rank, release_queue=release_queues[rank], names_queue=names_queue)
     fabric = ShmFabric(rank, queues, release_queues, pool, collect_timeout)
+    heartbeat = HeartbeatSender(rank, heartbeat_queue)
+    heartbeat.start()
+    if crash_agent is not None:
+        crash_agent.bind_heartbeat(heartbeat)
     try:
-        comm = Communicator(rank, fabric, cluster=cluster, clock=VirtualClock())
+        comm = Communicator(
+            rank, fabric, cluster=cluster, clock=VirtualClock(), injector=crash_agent
+        )
         result = fn(comm, *args, **kwargs)
         envelope = encode_payload(result, pool)
         result_queue.put(
@@ -255,8 +288,31 @@ def _process_worker(
             exit_msg["payload"] = MPIError(repr(exc))
             result_queue.put(exit_msg)
     finally:
+        heartbeat.stop()
         sweep_pending_closes()
         pool.close()
+
+
+def _shutdown_gang(procs: Sequence[Any]) -> None:
+    """Tear the gang down: terminate, join, escalate to ``kill()``.
+
+    A worker that ignores SIGTERM (stuck in a signal-blind C call, or a
+    test that installed ``SIG_IGN``) used to be leaked past the old
+    ``join(10.0)``; now it gets :data:`TERM_GRACE` seconds to die politely
+    before SIGKILL, which cannot be ignored.
+    """
+    import time as time_mod
+
+    for p in procs:
+        p.terminate()
+    deadline = time_mod.monotonic() + TERM_GRACE
+    for p in procs:
+        p.join(timeout=max(0.0, deadline - time_mod.monotonic()))
+    survivors = [p for p in procs if p.is_alive()]
+    for p in survivors:
+        p.kill()
+    for p in survivors:
+        p.join(timeout=KILL_GRACE)
 
 
 def run_mpi_processes(
@@ -268,6 +324,8 @@ def run_mpi_processes(
     kwargs: Optional[dict[str, Any]] = None,
     timeout: float = 600.0,
     collect_timeout: float = DEFAULT_COLLECT_TIMEOUT,
+    hang_timeout: Optional[float] = DEFAULT_HANG_TIMEOUT,
+    crash_agent: Optional[CrashAgent] = None,
 ) -> MPIRun:
     """Run ``fn(comm, *args, **kwargs)`` on ``size`` rank *processes*.
 
@@ -276,6 +334,17 @@ def run_mpi_processes(
     pool counters (``shm_bytes``, ``pickle_bytes``, segments created /
     reused / unlinked) — the numbers the driver surfaces in
     ``PartitionResult.extra["perf"]["transport"]``.
+
+    Collection is supervised: a rank that dies without reporting raises a
+    classified :class:`~repro.errors.WorkerCrash` within seconds, and a
+    live rank whose heartbeat goes quiet for ``hang_timeout`` seconds is
+    declared hung (``hang_timeout=None`` disables hang detection).  On any
+    failure the raised exception carries the best-effort transport summary
+    as ``papar_transport``.
+
+    ``crash_agent`` (or the ``PAPAR_CRASH_AGENT`` environment variable)
+    arms the real-fault chaos harness; see
+    :class:`~repro.mpi.supervisor.CrashAgent`.
     """
     if size < 1:
         raise MPIError(f"size must be >= 1, got {size!r}")
@@ -283,18 +352,22 @@ def run_mpi_processes(
         raise MPIError(
             f"cluster model provides {cluster.size} ranks but run was asked for {size}"
         )
+    if crash_agent is None:
+        crash_agent = CrashAgent.from_env()
     ctx = mp.get_context("fork") if "fork" in mp.get_all_start_methods() else mp.get_context()
     prefix = f"pp{os.getpid():x}{secrets.token_hex(2)}"
     queues = [ctx.Queue() for _ in range(size)]
     release_queues = [ctx.Queue() for _ in range(size)]
     names_queue = ctx.Queue()
     result_queue = ctx.Queue()
+    heartbeat_queue = ctx.Queue()
     procs = [
         ctx.Process(
             target=_process_worker,
             args=(
                 rank, queues, release_queues, names_queue, result_queue,
-                cluster, prefix, collect_timeout, fn, tuple(args), dict(kwargs or {}),
+                heartbeat_queue, cluster, prefix, collect_timeout, crash_agent,
+                fn, tuple(args), dict(kwargs or {}),
             ),
             daemon=True,
         )
@@ -307,36 +380,67 @@ def run_mpi_processes(
     clocks = [0.0] * size
     traffic: dict[int, dict[str, Any]] = {}
     pools: dict[int, dict[str, int]] = {}
+    seen: set[int] = set()
     first_error: Optional[BaseException] = None
     unlinked = 0
     import queue as queue_mod
+    import time as time_mod
 
-    try:
-        for _ in range(size):
-            try:
-                exit_msg = result_queue.get(timeout=timeout)
-            except queue_mod.Empty as exc:
-                raise MPIError(f"rank processes did not finish within {timeout}s") from exc
-            rank = exit_msg["rank"]
-            traffic[rank] = exit_msg["traffic"]
-            pools[rank] = exit_msg["pool"]
-            clocks[rank] = exit_msg["clock"]
-            if exit_msg["status"] == "error":
-                first_error = first_error or exit_msg["payload"]
-                break
+    def _absorb(exit_msg: dict[str, Any], decode: bool) -> None:
+        """Fold one exit message into the accounting (and results if asked)."""
+        nonlocal first_error
+        rank = exit_msg["rank"]
+        if rank in seen:
+            return
+        seen.add(rank)
+        traffic[rank] = exit_msg["traffic"]
+        pools[rank] = exit_msg["pool"]
+        clocks[rank] = exit_msg["clock"]
+        if exit_msg["status"] == "error":
+            first_error = first_error or exit_msg["payload"]
+        elif decode:
             # materialize the result out of shared memory before cleanup
             results[rank] = decode_payload(exit_msg["payload"], copy=True)
+
+    supervisor = Supervisor(
+        procs, result_queue, heartbeat_queue,
+        timeout=timeout, hang_timeout=hang_timeout,
+    )
+    try:
+        try:
+            for exit_msg in supervisor.exits():
+                _absorb(exit_msg, decode=True)
+                if exit_msg["status"] == "error":
+                    break
+        except MPIError as exc:  # WorkerCrash, hang, or global timeout
+            if first_error is None:
+                first_error = exc
+        if first_error is not None:
+            # drain sibling exits best-effort so the transport accounting and
+            # segment ledgers are complete even on failure
+            drain_deadline = time_mod.monotonic() + ERROR_DRAIN_GRACE
+            while len(seen) < size and time_mod.monotonic() < drain_deadline:
+                try:
+                    _absorb(result_queue.get(timeout=0.05), decode=False)
+                except (queue_mod.Empty, OSError, ValueError):
+                    pass
     finally:
-        for p in procs:
-            p.terminate()
-        for p in procs:
-            p.join(timeout=10.0)
+        _shutdown_gang(procs)
+        for exit_msg in _drain(result_queue):
+            try:
+                _absorb(exit_msg, decode=False)
+            except Exception:  # a killed writer can tear a message mid-pickle
+                break
         # unlink the union of the ledger and a /dev/shm prefix scan: a crashed
         # worker's segments show up in at least one of the two
         names = set(_drain(names_queue)) | set(scan_segments(prefix))
         unlinked = unlink_segments(names)
         sweep_pending_closes()
     if first_error is not None:
+        try:
+            first_error.papar_transport = _merge_transport(prefix, traffic, pools, unlinked)
+        except Exception:
+            pass
         raise first_error
     messages = sum(t["messages"] for t in traffic.values())
     nbytes = sum(t["bytes"] for t in traffic.values())

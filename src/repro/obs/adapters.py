@@ -74,13 +74,17 @@ def record_fault_report(recorder: Recorder, report: Optional[dict[str, Any]]) ->
 
     Attempts and virtual backoff become counters and every injected-fault
     firing becomes a driver-track instant, with the injector's per-kind
-    counts under ``fault.injected.*``.  Failed attempts are *not* replayed
-    here — the recovery loop records those live as ``retry`` instants.
+    counts under ``fault.injected.*``.  Failed attempts and worker crashes
+    are *not* replayed here — the recovery loop records those live as
+    ``retry``/``crash``/``restart`` instants and the ``fault.restarts``
+    counter.
     """
     if not report:
         return
     recorder.count("fault.attempts", report.get("attempts", 1))
     recorder.count("fault.backoff_virtual_s", report.get("backoff_virtual_s", 0.0))
+    if "backoff_wall_s" in report:
+        recorder.count("fault.backoff_wall_s", report["backoff_wall_s"])
     recorder.count("fault.recovered_jobs", len(report.get("recovered_jobs", [])))
     injected = report.get("injected")
     if injected:

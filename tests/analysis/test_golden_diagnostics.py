@@ -790,8 +790,49 @@ class TestBackendFit:
         result = run_lint(SPLIT_ONLY, inputs=self.INPUTS, backend="process", ranks=8)
         assert not [d for d in result.diagnostics if d.code == "PAP071"]
 
+    def test_pap070_silent_for_checkpoint_only_recovery(self):
+        """Gang-restart recovery is supported: declaring a checkpoint (without
+        injection) must not warn that the run will be refused."""
+        result = run_lint(
+            SPLIT_ONLY, inputs=self.INPUTS, backend="process", checkpoint=True,
+        )
+        assert not [d for d in result.diagnostics if d.code == "PAP070"]
+
+    def test_pap072_large_rank_count_without_checkpoint(self, monkeypatch):
+        from repro.analysis.rules import backend as backend_rules
+
+        monkeypatch.setattr(backend_rules, "available_cpus", lambda: 64)
+        result = run_lint(SPLIT_ONLY, inputs=self.INPUTS, backend="process", ranks=8)
+        diag = expect(result, "PAP072")
+        assert "checkpoint" in diag.message
+        assert "--checkpoint-dir" in diag.suggestion
+
+    def test_pap072_large_input_without_checkpoint(self):
+        result = run_lint(
+            SPLIT_ONLY, inputs=self.INPUTS, backend="process",
+            assume_records=2_000_000,
+        )
+        expect(result, "PAP072")
+
+    def test_pap072_silenced_by_a_declared_checkpoint(self, monkeypatch):
+        from repro.analysis.rules import backend as backend_rules
+
+        monkeypatch.setattr(backend_rules, "available_cpus", lambda: 64)
+        result = run_lint(
+            SPLIT_ONLY, inputs=self.INPUTS, backend="process", ranks=16,
+            assume_records=2_000_000, checkpoint=True,
+        )
+        assert not [d for d in result.diagnostics if d.code == "PAP072"]
+
+    def test_pap072_silent_for_small_runs(self):
+        result = run_lint(SPLIT_ONLY, inputs=self.INPUTS, backend="process", ranks=4)
+        assert not [d for d in result.diagnostics if d.code == "PAP072"]
+
     def test_rules_silent_without_a_declared_backend(self):
-        result = run_lint(SPLIT_ONLY, inputs=self.INPUTS, faults=True, ranks=10**6)
+        result = run_lint(
+            SPLIT_ONLY, inputs=self.INPUTS, faults=True, ranks=10**6,
+            assume_records=10**9,
+        )
         assert not [d for d in result.diagnostics if d.code.startswith("PAP07")]
 
 

@@ -141,6 +141,44 @@ class TestCLI:
         back = read_binary(tmp_path / "out" / "part-00001", BLAST_INDEX_SCHEMA)
         np.testing.assert_array_equal(back, native[1])
 
+    def test_run_process_gang_restart(self, config_files, tmp_path, capsys):
+        """End-to-end CLI chaos: a --crash-agent kill must be survived via
+        --checkpoint-dir / --max-attempts gang-restart, with the classified
+        crash in the printed fault report."""
+        marker = tmp_path / "crash-fired"
+        rc = main(
+            ["run"] + self.base_args(config_files, tmp_path) + [
+                "--backend", "process", "--ranks", "2",
+                "--checkpoint-dir", str(tmp_path / "ckpt"),
+                "--max-attempts", "3",
+                "--crash-agent", f"kill:rank=1,job=1,marker={marker}",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "wrote 3 partition(s)" in out
+        assert "fault tolerance: 2 attempt(s)" in out
+        assert "s wall" in out
+        assert "crash: attempt 1 rank 1 signal (SIGKILL)" in out
+        assert marker.exists()
+        import os
+
+        assert "PAPAR_CRASH_AGENT" not in os.environ
+        _, _, _, index = config_files
+        native = mublastp_partition(index, 3, policy="cyclic")
+        back = read_binary(tmp_path / "out" / "part-00001", BLAST_INDEX_SCHEMA)
+        np.testing.assert_array_equal(back, native[1])
+
+    def test_run_bad_crash_agent_spec(self, config_files, tmp_path, capsys):
+        rc = main(
+            ["run"] + self.base_args(config_files, tmp_path) + [
+                "--backend", "process", "--ranks", "2",
+                "--crash-agent", "explode:rank=1",
+            ]
+        )
+        assert rc == 2
+        assert "crash-agent" in capsys.readouterr().err
+
     def test_bad_arg_pair(self, config_files, tmp_path, capsys):
         rc = main(
             ["plan"] + self.base_args(config_files, tmp_path) + ["--arg", "oops"]

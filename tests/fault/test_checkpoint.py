@@ -65,6 +65,66 @@ class TestDiskStore:
         leftovers = [p for p in tmp_path.iterdir() if not p.name.endswith(".ckpt")]
         assert leftovers == []
 
+    def test_process_safe_contract(self, tmp_path):
+        """Only the disk store may cross the fork boundary (gang-restart)."""
+        assert DiskCheckpointStore(tmp_path).process_safe is True
+        assert MemoryCheckpointStore().process_safe is False
+
+
+class TestTornFiles:
+    """A half-written checkpoint must read as *missing*, never as committed."""
+
+    def _file(self, tmp_path, key="k"):
+        store = DiskCheckpointStore(tmp_path)
+        store.save(key, {"output": list(range(50))})
+        (path,) = tmp_path.iterdir()
+        return store, path
+
+    def test_truncated_file_is_missing(self, tmp_path):
+        store, path = self._file(tmp_path)
+        path.write_bytes(path.read_bytes()[: len(path.read_bytes()) // 2])
+        assert "k" not in store
+        with pytest.raises(FaultToleranceError, match="no checkpoint"):
+            store.load("k")
+
+    def test_flipped_payload_byte_fails_crc(self, tmp_path):
+        store, path = self._file(tmp_path)
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF  # footer intact, payload corrupt
+        path.write_bytes(bytes(raw))
+        assert "k" not in store
+
+    def test_footerless_legacy_file_is_missing(self, tmp_path):
+        import pickle
+
+        store, path = self._file(tmp_path)
+        path.write_bytes(pickle.dumps({"output": [1]}))  # pre-footer format
+        assert "k" not in store
+
+    def test_empty_file_is_missing(self, tmp_path):
+        store, path = self._file(tmp_path)
+        path.write_bytes(b"")
+        assert "k" not in store
+
+    def test_save_over_torn_file_recommits(self, tmp_path):
+        store, path = self._file(tmp_path)
+        path.write_bytes(b"garbage")
+        store.save("k", 42)
+        assert store.load("k") == 42
+
+    def test_torn_checkpoint_breaks_committed_prefix(self, tmp_path):
+        """The prefix rule re-runs a job whose snapshot did not fully commit."""
+        store = DiskCheckpointStore(tmp_path)
+        plan = fake_plan(2)
+        for job_index in range(2):
+            for rank in range(2):
+                store.save(job_key("fp", job_index, f"op{job_index}", rank), 1)
+        assert committed_prefix(store, "fp", plan.jobs, 2) == 2
+        victim = store._path(job_key("fp", 1, "op1", 0))
+        with open(victim, "r+b") as fh:  # tear one rank's job-1 snapshot
+            fh.truncate(3)
+        assert committed_prefix(store, "fp", plan.jobs, 2) == 1
+
 
 def fake_plan(num_jobs=3):
     jobs = [SimpleNamespace(op_id=f"op{i}") for i in range(num_jobs)]

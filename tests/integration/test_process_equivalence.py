@@ -128,7 +128,7 @@ ZERO_IMPORT_RUN = textwrap.dedent(
     leaked = sorted(
         m for m in sys.modules
         if m in ("repro.core.process_runtime", "repro.mpi.process_backend",
-                 "repro.mpi.shm")
+                 "repro.mpi.shm", "repro.mpi.supervisor")
     )
     if leaked:
         print("LEAKED:", leaked)
