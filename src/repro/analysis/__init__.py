@@ -35,6 +35,20 @@ _LAZY = {
     "all_codes": ("repro.analysis.rules", "all_codes"),
     "LocatingXMLParser": ("repro.analysis.locate", "LocatingXMLParser"),
     "parse_located": ("repro.analysis.locate", "parse_located"),
+    "PlanIR": ("repro.analysis.ir", "PlanIR"),
+    "IRNode": ("repro.analysis.ir", "IRNode"),
+    "IREdge": ("repro.analysis.ir", "IREdge"),
+    "build_ir": ("repro.analysis.ir", "build_ir"),
+    "workflow_ir": ("repro.analysis.ir", "workflow_ir"),
+    "run_dataflow": ("repro.analysis.dataflow", "run_dataflow"),
+    "SchemaAnalysis": ("repro.analysis.dataflow", "SchemaAnalysis"),
+    "LivenessAnalysis": ("repro.analysis.dataflow", "LivenessAnalysis"),
+    "CardinalityAnalysis": ("repro.analysis.dataflow", "CardinalityAnalysis"),
+    "analyze_plan": ("repro.analysis.cost", "analyze_plan"),
+    "AnalyzedPlan": ("repro.analysis.cost", "AnalyzedPlan"),
+    "ExplainReport": ("repro.analysis.explain", "ExplainReport"),
+    "explain_workflow": ("repro.analysis.explain", "explain_workflow"),
+    "explain_files": ("repro.analysis.explain", "explain_files"),
 }
 
 __all__ = sorted(_LAZY)

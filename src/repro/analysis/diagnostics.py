@@ -100,13 +100,19 @@ class LintResult:
         self.diagnostics.extend(diags)
 
     def sort(self) -> None:
-        """Order findings by file, line, then severity and code."""
+        """Order findings by file, line, severity, code, then message.
+
+        The message tie-break makes the order — and therefore ``--format
+        json`` output — byte-stable across runs even when one rule emits
+        several findings at the same location.
+        """
         self.diagnostics.sort(
             key=lambda d: (
                 d.file or "",
                 d.line if d.line is not None else 0,
                 _SEVERITY_ORDER[d.severity],
                 d.code,
+                d.message,
             )
         )
 

@@ -100,6 +100,26 @@ class Linter:
 
         ``inputs`` is an iterable of ``(xml_text, filename)`` pairs.
         """
+        _ctx, result = self.analyze(
+            workflow_xml, filename=filename, inputs=inputs, args=args, do_plan=do_plan
+        )
+        return result
+
+    def analyze(
+        self,
+        workflow_xml: str,
+        filename: Optional[str] = None,
+        inputs: Iterable[tuple[str, Optional[str]]] = (),
+        args: Optional[dict[str, Any]] = None,
+        do_plan: bool = True,
+    ) -> tuple[Optional[LintContext], LintResult]:
+        """One full pass returning both the populated context and the result.
+
+        ``papar explain`` consumes the context (IR, fixed-point analyses,
+        cost model via :meth:`LintContext.analyzed`) alongside the same
+        diagnostics ``lint`` reports; the context is ``None`` only when the
+        workflow XML itself failed to parse.
+        """
         result = LintResult()
         if filename:
             result.files.append(filename)
@@ -144,7 +164,7 @@ class Linter:
                 )
             )
             result.sort()
-            return result
+            return None, result
 
         model, structural = build_workflow_model(tree, filename)
         result.extend(structural)
@@ -213,7 +233,7 @@ class Linter:
                 d for d in result.diagnostics if d.code != "PAP040"
             ]
         result.sort()
-        return result
+        return ctx, result
 
     def lint_paths(
         self,

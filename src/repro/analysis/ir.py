@@ -1,0 +1,288 @@
+"""The typed plan-IR shared by the lint rules and the (future) optimizer.
+
+Historically every path/type rule re-derived the workflow dataflow with its
+own call to ``resolve_dataflow``.  This module is that resolution promoted
+to a first-class intermediate representation: one :func:`build_ir` pass
+turns a tolerant :class:`~repro.analysis.model.LintWorkflow` into a
+:class:`PlanIR` — operator nodes with resolved-as-far-as-possible
+parameters, explicit dataflow edges recovered from the ``$ref`` path
+wiring (including the directory-prefix consumption the planner supports),
+exchange annotations describing which operators shuffle data between
+ranks, and the source locations :mod:`repro.analysis.locate` collected.
+
+Everything downstream — the PAP02x/03x rules, the fixed-point analyses in
+:mod:`repro.analysis.dataflow`, the cost model in
+:mod:`repro.analysis.cost`, and ``papar explain`` — consumes this IR
+instead of re-resolving paths privately.  An optimizer pass is a pure
+rewrite over the same structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.analysis.model import LintOperator, LintWorkflow, SymbolicEnv
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.model import LintContext
+
+#: operator kind -> exchange annotation: how the SPMD runtimes move the
+#: operator's input between ranks (``None`` = purely rank-local).
+#: ``range`` is the sample + range-shuffle of sort/group (Figures 9/11);
+#: ``position`` is distribute's global-position permutation shuffle.
+EXCHANGE_KINDS: dict[str, str] = {
+    "sort": "range",
+    "group": "range",
+    "distribute": "position",
+}
+
+
+@dataclass(frozen=True)
+class IREdge:
+    """One dataflow edge: a producer output consumed by a later node.
+
+    ``src is None`` marks the workflow-input pseudo-source (the first job,
+    or any job whose input path no earlier output produces).
+    """
+
+    #: producing operator id, or None for the workflow input
+    src: Optional[str]
+    #: output slot on the producer (splits have one slot per condition)
+    src_output: int
+    #: consuming operator id
+    dst: str
+    #: the resolved path text the edge was recovered from
+    path: str
+
+
+@dataclass
+class IRNode:
+    """One operator stage of the plan-IR."""
+
+    #: operator id (unique in a well-formed workflow)
+    op_id: str
+    #: normalized operator kind ("sort", "group", "split", "distribute", ...)
+    kind: str
+    #: the tolerant model node (parameter lists, add-ons, attributes)
+    op: LintOperator
+    #: position in document (= execution) order
+    index: int
+    #: parameter name -> value with every known ``$ref`` substituted
+    params: dict[str, Optional[str]] = field(default_factory=dict)
+    #: parameter name -> True when the substitution was complete
+    params_resolved: dict[str, bool] = field(default_factory=dict)
+    #: resolved input path (None when the operator declares none)
+    input: Optional[str] = None
+    input_resolved: bool = True
+    input_line: Optional[int] = None
+    #: resolved output path(s); splits have one per condition
+    outputs: list[str] = field(default_factory=list)
+    outputs_resolved: bool = True
+    output_line: Optional[int] = None
+    #: exchange annotation ("range" / "position" / None), see EXCHANGE_KINDS
+    exchange: Optional[str] = None
+
+    @property
+    def line(self) -> Optional[int]:
+        """Source line of the ``<operator>`` element."""
+        return self.op.line
+
+    def param_value(self, *names: str) -> Optional[str]:
+        """Resolved value of the first declared parameter among ``names``."""
+        for name in names:
+            if name in self.params:
+                return self.params[name]
+        return None
+
+    def param_line(self, *names: str) -> Optional[int]:
+        """Source line of the first declared parameter among ``names``."""
+        p = self.op.param(*names)
+        return p.line if p is not None else None
+
+
+@dataclass
+class PlanIR:
+    """The whole analyzed plan: nodes in execution order plus their edges."""
+
+    workflow_id: str
+    nodes: list[IRNode]
+    edges: list[IREdge]
+    #: the symbolic environment after walking every operator
+    env: SymbolicEnv
+
+    def __post_init__(self) -> None:
+        self._by_id = {n.op_id: n for n in self.nodes}
+
+    def node(self, op_id: str) -> Optional[IRNode]:
+        """The node called ``op_id``, if any."""
+        return self._by_id.get(op_id)
+
+    @property
+    def final(self) -> Optional[IRNode]:
+        """The last node (the workflow product), when the plan is non-empty."""
+        return self.nodes[-1] if self.nodes else None
+
+    def in_edges(self, op_id: str) -> list[IREdge]:
+        """Edges feeding ``op_id`` (empty = reads the workflow input)."""
+        return [e for e in self.edges if e.dst == op_id]
+
+    def out_edges(self, op_id: str) -> list[IREdge]:
+        """Edges consuming outputs of ``op_id``."""
+        return [e for e in self.edges if e.src == op_id]
+
+    def predecessors(self, op_id: str) -> list[IRNode]:
+        """Producing nodes of ``op_id``, in execution order, de-duplicated."""
+        seen: dict[str, IRNode] = {}
+        for e in self.in_edges(op_id):
+            if e.src is not None and e.src not in seen:
+                node = self.node(e.src)
+                if node is not None:
+                    seen[e.src] = node
+        return sorted(seen.values(), key=lambda n: n.index)
+
+    def successors(self, op_id: str) -> list[IRNode]:
+        """Consuming nodes of ``op_id``, in execution order, de-duplicated."""
+        seen: dict[str, IRNode] = {}
+        for e in self.out_edges(op_id):
+            if e.dst not in seen:
+                node = self.node(e.dst)
+                if node is not None:
+                    seen[e.dst] = node
+        return sorted(seen.values(), key=lambda n: n.index)
+
+    def consumed_outputs(self, op_id: str) -> set[int]:
+        """Output slots of ``op_id`` some later node consumes."""
+        return {e.src_output for e in self.out_edges(op_id)}
+
+    def sole_consumer(self, op_id: str) -> Optional[IRNode]:
+        """The unique consumer of *every* consumed output, or None."""
+        succ = self.successors(op_id)
+        return succ[0] if len(succ) == 1 else None
+
+    def exchange_nodes(self) -> list[IRNode]:
+        """Nodes annotated with an exchange, in execution order."""
+        return [n for n in self.nodes if n.exchange is not None]
+
+
+def _resolve_node_io(node: IRNode, env: SymbolicEnv) -> None:
+    """Fill the node's resolved input/output paths, mirroring the planner."""
+    op = node.op
+    in_param = op.param("inputPath", "input", "inputPathList")
+    if in_param is not None:
+        node.input, node.input_resolved = env.resolve(in_param.value)
+        node.input_line = in_param.line
+    if node.kind == "split":
+        out_param = op.param("outputPathList")
+        if out_param is not None and out_param.value:
+            resolved, ok = env.resolve(out_param.value)
+            node.outputs = [
+                p.strip() for p in (resolved or "").split(",") if p.strip()
+            ]
+            node.outputs_resolved = ok
+            node.output_line = out_param.line
+    else:
+        out_param = op.param("outputPath", "ouputPath")
+        if out_param is not None and out_param.value is not None:
+            resolved, ok = env.resolve(out_param.value)
+            node.outputs = [resolved or ""]
+            node.outputs_resolved = ok
+            node.output_line = out_param.line
+        else:
+            # the planner's default output path
+            node.outputs = [f"/tmp/{op.id}"]
+
+
+def _wire_edges(nodes: list[IRNode]) -> list[IREdge]:
+    """Recover dataflow edges from the resolved paths.
+
+    A node's input consumes an earlier output when the paths match exactly
+    or the input is a directory prefix of the output (the hybrid-cut
+    ``/tmp/split/`` pattern, where one distribute drains every split
+    output).  Unmatched inputs read the workflow input.
+    """
+    edges: list[IREdge] = []
+    for i, node in enumerate(nodes):
+        if node.input is None:
+            if i == 0:
+                edges.append(IREdge(None, 0, node.op_id, ""))
+            elif nodes[i - 1].outputs:
+                # the serial runtime chains from the previous job when an
+                # operator declares no input; mirror that implicit edge
+                edges.append(
+                    IREdge(nodes[i - 1].op_id, 0, node.op_id, nodes[i - 1].outputs[0])
+                )
+            continue
+        path = node.input
+        matched = False
+        for j in range(i):
+            for k, out in enumerate(nodes[j].outputs):
+                if not out:
+                    continue
+                if out == path or out.startswith(path.rstrip("/") + "/"):
+                    edges.append(IREdge(nodes[j].op_id, k, node.op_id, out))
+                    matched = True
+        if not matched:
+            edges.append(IREdge(None, 0, node.op_id, path))
+    return edges
+
+
+def build_ir(ctx: "LintContext") -> Optional[PlanIR]:
+    """One resolution pass: model -> nodes + env + edges + annotations.
+
+    This is the single place the analyzer walks the operator chain binding
+    ``$refs`` — the walk the old ``resolve_dataflow`` helper performed once
+    per rule.  Prefer :meth:`LintContext.ir`, which memoizes the result.
+    """
+    model = ctx.model
+    if model is None:
+        return None
+    env = SymbolicEnv()
+    for arg in model.arguments:
+        if arg.name in ctx.args:
+            env.bind(arg.name, str(ctx.args[arg.name]))
+        elif arg.value is not None:
+            env.bind(arg.name, env.resolve(arg.value)[0] or "")
+
+    nodes: list[IRNode] = []
+    for i, op in enumerate(model.operators):
+        node = IRNode(
+            op_id=op.id,
+            kind=op.kind,
+            op=op,
+            index=i,
+            exchange=EXCHANGE_KINDS.get(op.kind),
+        )
+        for p in op.params:
+            resolved, ok = env.resolve(p.value)
+            # duplicates stay observable in op.params; the dict keeps the
+            # first occurrence, matching the runtime's behavior
+            if p.name not in node.params:
+                node.params[p.name] = resolved
+                node.params_resolved[p.name] = ok
+        _resolve_node_io(node, env)
+        if node.outputs:
+            env.bind(f"{op.id}.outputPath", node.outputs[0])
+            if len(node.outputs) > 1:
+                env.bind(f"{op.id}.outputPathList", ",".join(node.outputs))
+        for addon in op.addons:
+            attr = addon.attr or addon.operator
+            if attr:
+                env.bind(f"{op.id}.{attr}", attr)
+        nodes.append(node)
+    return PlanIR(
+        workflow_id=model.id,
+        nodes=nodes,
+        edges=_wire_edges(nodes),
+        env=env,
+    )
+
+
+def workflow_ir(model: LintWorkflow, args: Optional[dict[str, str]] = None) -> PlanIR:
+    """Build a :class:`PlanIR` straight from a model (no LintContext needed)."""
+    from repro.analysis.model import LintContext
+
+    ctx = LintContext(filename=None, model=model, args=dict(args or {}))
+    ir = build_ir(ctx)
+    assert ir is not None  # model is not None by construction
+    return ir

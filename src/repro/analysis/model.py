@@ -330,6 +330,31 @@ class LintContext:
     memory_budget: Optional[str] = None
     #: assumed input record count for budget sizing (with memory_budget)
     assume_records: Optional[int] = None
+    #: memoized plan-IR (see :meth:`ir`); None until first requested
+    _ir: Optional[object] = field(default=None, repr=False)
+    #: memoized analyzed plan (see :meth:`analyzed`)
+    _analyzed: Optional[object] = field(default=None, repr=False)
+
+    def ir(self):
+        """The shared plan-IR of this workflow, built once and memoized.
+
+        Every rule that needs resolved paths, ``$ref`` edges, or the
+        symbolic environment reads this — the single dataflow resolution
+        the analyzer performs (returns ``None`` when no model exists).
+        """
+        if self._ir is None and self.model is not None:
+            from repro.analysis.ir import build_ir
+
+            self._ir = build_ir(self)
+        return self._ir
+
+    def analyzed(self):
+        """The fixed-point analyses + cost model over :meth:`ir`, memoized."""
+        if self._analyzed is None and self.model is not None:
+            from repro.analysis.cost import analyze_plan
+
+            self._analyzed = analyze_plan(self)
+        return self._analyzed
 
     def diag(
         self,
@@ -398,69 +423,6 @@ class SymbolicEnv:
             return m.group(0)
 
         return _REF_RE.sub(sub, text), complete
-
-
-@dataclass
-class OpIO:
-    """Resolved (as far as statically possible) I/O of one operator."""
-
-    op: LintOperator
-    #: resolved output path(s); split operators have one per condition
-    outputs: list[str] = field(default_factory=list)
-    outputs_resolved: bool = True
-    input: Optional[str] = None
-    input_resolved: bool = True
-    output_line: Optional[int] = None
-    input_line: Optional[int] = None
-
-
-def resolve_dataflow(ctx: LintContext) -> tuple[list[OpIO], SymbolicEnv]:
-    """Walk the operator chain, building the symbolic environment and each
-    operator's resolved input/output paths — mirroring the planner without
-    requiring the configuration to be valid."""
-    env = SymbolicEnv()
-    model = ctx.model
-    assert model is not None
-    for arg in model.arguments:
-        if arg.name in ctx.args:
-            env.bind(arg.name, str(ctx.args[arg.name]))
-        elif arg.value is not None:
-            env.bind(arg.name, env.resolve(arg.value)[0] or "")
-
-    flows: list[OpIO] = []
-    for op in model.operators:
-        io = OpIO(op=op)
-        in_param = op.param("inputPath", "input", "inputPathList")
-        if in_param is not None:
-            io.input, io.input_resolved = env.resolve(in_param.value)
-            io.input_line = in_param.line
-        if op.kind == "split":
-            out_param = op.param("outputPathList")
-            if out_param is not None and out_param.value:
-                resolved, ok = env.resolve(out_param.value)
-                io.outputs = [p.strip() for p in (resolved or "").split(",") if p.strip()]
-                io.outputs_resolved = ok
-                io.output_line = out_param.line
-        else:
-            out_param = op.param("outputPath", "ouputPath")
-            if out_param is not None and out_param.value is not None:
-                resolved, ok = env.resolve(out_param.value)
-                io.outputs = [resolved or ""]
-                io.outputs_resolved = ok
-                io.output_line = out_param.line
-            else:
-                # the planner's default output path
-                io.outputs = [f"/tmp/{op.id}"]
-        if io.outputs:
-            env.bind(f"{op.id}.outputPath", io.outputs[0])
-            if len(io.outputs) > 1:
-                env.bind(f"{op.id}.outputPathList", ",".join(io.outputs))
-        for addon in op.addons:
-            attr = addon.attr or addon.operator
-            if attr:
-                env.bind(f"{op.id}.{attr}", attr)
-        flows.append(io)
-    return flows, env
 
 
 def iter_references(model: LintWorkflow) -> Iterator[Reference]:

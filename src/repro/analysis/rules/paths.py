@@ -2,8 +2,8 @@
 
 Operators communicate through paths: a job's ``inputPath`` either names an
 earlier job's output (directly or as a directory prefix) or the workflow
-input.  These rules re-derive that wiring symbolically — without binding
-real arguments — and flag outputs nobody reads, paths written twice,
+input.  The plan-IR records that wiring as explicit edges; these rules
+read the edges and flag outputs nobody reads, paths written twice,
 directory reads with zero producers, and malformed policy strings.
 """
 
@@ -13,7 +13,7 @@ from difflib import get_close_matches
 from typing import Iterator
 
 from repro.analysis.diagnostics import Diagnostic
-from repro.analysis.model import LintContext, resolve_dataflow
+from repro.analysis.model import LintContext
 from repro.analysis.rules import checker
 from repro.config.workflow import _REF_RE
 
@@ -27,73 +27,63 @@ def check_path_wiring(ctx: LintContext) -> Iterator[Diagnostic]:
     """PAP030 dead outputs, PAP031 collisions, PAP032 orphan dir inputs."""
     if ctx.model is None or not ctx.model.operators:
         return
-    flows, _env = resolve_dataflow(ctx)
+    ir = ctx.ir()
+    if ir is None:
+        return
 
     # -- collisions: two jobs writing the same (resolved) path ------------
     writers: dict[str, list[int]] = {}
-    for i, io in enumerate(flows):
-        for path in io.outputs:
+    for node in ir.nodes:
+        for path in node.outputs:
             if path:
-                writers.setdefault(path, []).append(i)
+                writers.setdefault(path, []).append(node.index)
     for path, idxs in writers.items():
         if _is_symbolic(path):
             continue
         if len(idxs) > 1:
-            first = flows[idxs[0]].op
+            first = ir.nodes[idxs[0]]
             for i in idxs[1:]:
-                io = flows[i]
+                node = ir.nodes[i]
                 yield ctx.diag(
                     "PAP031",
-                    f"operator {io.op.id!r} writes {path!r}, which operator "
-                    f"{first.id!r} also writes; the second run clobbers the first",
-                    line=io.output_line or io.op.line,
+                    f"operator {node.op_id!r} writes {path!r}, which operator "
+                    f"{first.op_id!r} also writes; the second run clobbers the first",
+                    line=node.output_line or node.line,
                     suggestion="give every operator a distinct output path",
                 )
 
-    # -- consumption map ---------------------------------------------------
-    consumed: set[tuple[int, int]] = set()  # (producer index, output index)
-    for i, io in enumerate(flows):
-        if io.input is None:
+    # -- orphan directory inputs -------------------------------------------
+    for node in ir.nodes:
+        if node.index == 0 or node.input is None:
             continue
-        path = io.input
-        matched = False
-        for j in range(i):
-            for k, out in enumerate(flows[j].outputs):
-                if not out:
-                    continue
-                if out == path or out.startswith(path.rstrip("/") + "/"):
-                    # exact or directory-prefix consumption (hybrid-cut)
-                    consumed.add((j, k))
-                    matched = True
-        if (
-            not matched
-            and i > 0
-            and path.endswith("/")
-            and not _is_symbolic(path)
-        ):
+        path = node.input
+        feeds = ir.in_edges(node.op_id)
+        unmatched = all(e.src is None for e in feeds)
+        if unmatched and path.endswith("/") and not _is_symbolic(path):
             yield ctx.diag(
                 "PAP032",
-                f"operator {io.op.id!r} reads directory {path!r}, but no "
+                f"operator {node.op_id!r} reads directory {path!r}, but no "
                 "earlier operator writes anything under it",
-                line=io.input_line or io.op.line,
+                line=node.input_line or node.line,
                 suggestion="point inputPath at an earlier operator's output "
                 "(e.g. $previous.outputPath)",
             )
 
     # -- dead outputs ------------------------------------------------------
-    last = len(flows) - 1
-    for j, io in enumerate(flows):
-        if j == last:
+    final = ir.final
+    for node in ir.nodes:
+        if final is not None and node.op_id == final.op_id:
             continue  # the final job's output is the workflow product
-        for k, out in enumerate(io.outputs):
-            if out and (j, k) not in consumed:
+        consumed = ir.consumed_outputs(node.op_id)
+        for k, out in enumerate(node.outputs):
+            if out and k not in consumed:
                 yield ctx.diag(
                     "PAP030",
-                    f"output {out!r} of operator {io.op.id!r} is never "
+                    f"output {out!r} of operator {node.op_id!r} is never "
                     "consumed by a later operator",
-                    line=io.output_line or io.op.line,
+                    line=node.output_line or node.line,
                     suggestion="wire a later operator's inputPath to "
-                    f"${io.op.id}.outputPath, or drop the operator",
+                    f"${node.op_id}.outputPath, or drop the operator",
                 )
 
 
@@ -104,10 +94,13 @@ def check_split_shape(ctx: LintContext) -> Iterator[Diagnostic]:
         return
     from repro.policies.split_policy import SplitPolicy
 
-    flows, env = resolve_dataflow(ctx)
-    for io in flows:
-        op = io.op
-        if op.kind != "split":
+    ir = ctx.ir()
+    if ir is None:
+        return
+    env = ir.env
+    for node in ir.nodes:
+        op = node.op
+        if node.kind != "split":
             continue
         policy_param = op.param("policy", "splitPolicy")
         paths_param = op.param("outputPathList")
@@ -130,9 +123,9 @@ def check_split_shape(ctx: LintContext) -> Iterator[Diagnostic]:
             policy is not None
             and paths_param is not None
             and paths_param.value is not None
-            and io.outputs_resolved
+            and node.outputs_resolved
         ):
-            n_paths = len(io.outputs)
+            n_paths = len(node.outputs)
             if n_paths != policy.num_outputs:
                 yield ctx.diag(
                     "PAP033",
@@ -150,10 +143,13 @@ def check_partition_counts(ctx: LintContext) -> Iterator[Diagnostic]:
         return
     from repro.policies.distr import _POLICIES
 
-    flows, env = resolve_dataflow(ctx)
-    for io in flows:
-        op = io.op
-        if op.kind == "distribute":
+    ir = ctx.ir()
+    if ir is None:
+        return
+    env = ir.env
+    for node in ir.nodes:
+        op = node.op
+        if node.kind == "distribute":
             policy_param = op.param("distrPolicy", "policy")
             if policy_param is not None and policy_param.value is not None:
                 resolved, complete = env.resolve(policy_param.value)

@@ -61,9 +61,10 @@ def check_schema_flow(ctx: LintContext) -> Iterator[Diagnostic]:
     schema, _arg = ctx.input_schema()
     if schema is None:
         return
-    from repro.analysis.model import resolve_dataflow
-
-    _flows, env = resolve_dataflow(ctx)
+    ir = ctx.ir()
+    if ir is None:
+        return
+    env = ir.env
     available: dict[str, str] = {f.name: f.type for f in schema.fields}
 
     for op in ctx.model.operators:
@@ -127,11 +128,13 @@ def check_split_thresholds(ctx: LintContext) -> Iterator[Diagnostic]:
     """PAP022/023: split thresholds comparable and covering."""
     if ctx.model is None:
         return
-    from repro.analysis.model import resolve_dataflow
     from repro.policies.split_policy import SplitPolicy
 
     schema, _arg = ctx.input_schema()
-    _flows, env = resolve_dataflow(ctx)
+    ir = ctx.ir()
+    if ir is None:
+        return
+    env = ir.env
 
     # rebuild the availability map (cheap; mirrors check_schema_flow)
     available: dict[str, str] = (

@@ -4,6 +4,7 @@ The paper's runtime reads workflow arguments "from the configuration file at
 runtime" with overrides from the command line; this CLI is that front end:
 
 * ``lint``     — statically analyze the configs and report every finding;
+* ``explain``  — render the analyzed plan-IR (schemas, liveness, exchange cost);
 * ``plan``     — parse the configs, resolve arguments, print the job table;
 * ``codegen``  — emit the generated partitioner source;
 * ``run``      — partition an input file into ``part-NNNNN`` output files.
@@ -64,8 +65,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint = sub.add_parser(
         "lint", help="statically analyze configurations without running them"
     )
-    p_lint.add_argument("workflow", metavar="WORKFLOW_XML",
-                        help="workflow configuration file")
+    p_lint.add_argument("workflow", metavar="WORKFLOW_XML", nargs="?",
+                        default=None,
+                        help="workflow configuration file (omit with --explain)")
+    p_lint.add_argument("--explain", metavar="PAPnnn", default=None,
+                        help="print the catalog entry of a rule (description, "
+                             "severity, bad/good example) and exit")
     p_lint.add_argument("--input", "--input-config", action="append", default=[],
                         dest="input", metavar="FILE",
                         help="input-data configuration XML (repeatable)")
@@ -97,6 +102,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument("--checkpoint-dir", metavar="DIR",
                         help="checkpoint directory the run would use; "
                              "silences PAP072 for large process-backend runs")
+
+    p_explain = sub.add_parser(
+        "explain",
+        help="render the analyzed plan-IR: inferred schemas, live columns, "
+             "and estimated rows/bytes per exchange",
+    )
+    p_explain.add_argument("workflow", metavar="WORKFLOW_XML",
+                           help="workflow configuration file")
+    p_explain.add_argument("--input", "--input-config", action="append",
+                           default=[], dest="input", metavar="FILE",
+                           help="input-data configuration XML (repeatable)")
+    p_explain.add_argument("--arg", action="append", default=[],
+                           metavar="NAME=VALUE",
+                           help="workflow argument (repeatable); binding the "
+                                "real input path enables file-backed row counts")
+    p_explain.add_argument("--format", choices=("text", "json"), default="text",
+                           help="report format (default: text)")
+    p_explain.add_argument("--ranks", type=int, default=None, metavar="N",
+                           help="intended rank count (enables cluster-fit rules)")
+    p_explain.add_argument("--assume-records", type=int, default=None,
+                           metavar="N",
+                           help="assumed input record count when no real "
+                                "input file is bound")
 
     p_plan = sub.add_parser("plan", help="print the planned job sequence")
     common(p_plan)
@@ -163,9 +191,44 @@ def _load(ns: argparse.Namespace) -> tuple[PaPar, object, dict]:
     return papar, workflow, _parse_arg_pairs(ns.arg)
 
 
+def _explain_rule(code: str, fmt: str) -> int:
+    """Print one catalog entry (``papar lint --explain PAPnnn``)."""
+    import json
+
+    from repro.analysis.rules import CATALOG
+
+    normalized = code.strip().upper()
+    spec = CATALOG.get(normalized)
+    if spec is None:
+        from difflib import get_close_matches
+
+        close = get_close_matches(normalized, sorted(CATALOG), n=1)
+        hint = f"; did you mean {close[0]}?" if close else ""
+        print(f"error: unknown rule {code!r}{hint}", file=sys.stderr)
+        return 2
+    if fmt == "json":
+        print(json.dumps(spec.explain_dict(), indent=2))
+        return 0
+    print(f"{spec.code} ({spec.name}) — {spec.severity.value}")
+    print(f"  {spec.summary}")
+    if spec.description:
+        print(f"\n  {spec.description}")
+    if spec.bad:
+        print(f"\n  bad:  {spec.bad}")
+    if spec.good:
+        print(f"  good: {spec.good}")
+    return 0
+
+
 def cmd_lint(ns: argparse.Namespace) -> int:
     from repro.analysis.engine import Linter
 
+    if ns.explain is not None:
+        return _explain_rule(ns.explain, ns.format)
+    if ns.workflow is None:
+        print("error: a workflow file is required (or pass --explain PAPnnn)",
+              file=sys.stderr)
+        return 2
     result = Linter(
         ranks=ns.ranks,
         memory_budget=ns.memory_budget,
@@ -184,6 +247,24 @@ def cmd_lint(ns: argparse.Namespace) -> int:
     else:
         print(result.render_text())
     return result.exit_code(strict=ns.strict)
+
+
+def cmd_explain(ns: argparse.Namespace) -> int:
+    from repro.analysis.explain import explain_files
+
+    report = explain_files(
+        ns.workflow,
+        ns.input,
+        args=_parse_arg_pairs(ns.arg),
+        ranks=ns.ranks,
+        assume_records=ns.assume_records,
+    )
+    if ns.format == "json":
+        print(report.render_json())
+    else:
+        print(report.render_text())
+    # advisories are INFO; only real configuration errors fail the command
+    return report.lint.exit_code()
 
 
 def _lint_gate(ns: argparse.Namespace, papar: PaPar) -> Optional[int]:
@@ -404,6 +485,7 @@ def _export_observability(ns: argparse.Namespace, recorder, out) -> None:
 
 _COMMANDS = {
     "lint": cmd_lint,
+    "explain": cmd_explain,
     "plan": cmd_plan,
     "codegen": cmd_codegen,
     "run": cmd_run,

@@ -1,0 +1,126 @@
+"""Fixed-point dataflow analyses over the plan-IR."""
+
+from repro.analysis import parse_located
+from repro.analysis.dataflow import (
+    BOTTOM,
+    CardinalityAnalysis,
+    LivenessAnalysis,
+    SchemaAnalysis,
+    SchemaValue,
+    run_dataflow,
+)
+from repro.analysis.ir import workflow_ir
+from repro.analysis.model import build_workflow_model
+
+from tests.analysis.test_ir import CHAIN, HYBRID
+
+BLAST_FIELDS = (
+    ("seq_start", "integer"),
+    ("seq_size", "integer"),
+    ("desc_start", "integer"),
+    ("desc_size", "integer"),
+)
+EDGE_FIELDS = (("vertex_a", "long"), ("vertex_b", "long"))
+
+
+def make_ir(xml, args=None):
+    model, _ = build_workflow_model(parse_located(xml), "t.xml")
+    return workflow_ir(model, args)
+
+
+class TestSchemaAnalysis:
+    def test_fields_propagate_unchanged_through_sort_distribute(self):
+        res = run_dataflow(make_ir(CHAIN), SchemaAnalysis(BLAST_FIELDS))
+        for op in ("sort", "distr"):
+            value = res.output_of[op]
+            assert value.is_known
+            assert value.names() == tuple(n for n, _ in BLAST_FIELDS)
+
+    def test_group_addon_appends_typed_attribute(self):
+        res = run_dataflow(make_ir(HYBRID), SchemaAnalysis(EDGE_FIELDS))
+        out = res.output_of["group"]
+        assert out.names() == ("vertex_a", "vertex_b", "indegree")
+        assert out.field_type("indegree") == "long"
+        # downstream stages see the widened schema
+        assert res.output_of["distr"].names() == out.names()
+
+    def test_unknown_input_stays_top(self):
+        res = run_dataflow(make_ir(CHAIN), SchemaAnalysis(None))
+        assert not res.output_of["distr"].is_known
+        assert res.output_of["distr"].kind != BOTTOM
+
+    def test_addon_collision_is_conflict(self):
+        xml = HYBRID.replace('attr="indegree"', 'attr="vertex_a"')
+        res = run_dataflow(make_ir(xml), SchemaAnalysis(EDGE_FIELDS))
+        assert res.output_of["group"].kind == BOTTOM
+        assert "vertex_a" in res.output_of["group"].reason
+
+    def test_join_disagreement_is_conflict(self):
+        analysis = SchemaAnalysis(None)
+        a = SchemaValue.concrete((("x", "long"),))
+        b = SchemaValue.concrete((("y", "long"),))
+        assert analysis.join(a, a) == a
+        assert analysis.join(a, b).kind == BOTTOM
+
+
+class TestLivenessAnalysis:
+    def test_keys_live_backward(self):
+        res = run_dataflow(make_ir(CHAIN), LivenessAnalysis())
+        # sort reads its key; nothing after distr reads anything
+        assert res.output_of["sort"] == frozenset({"seq_size"})
+        assert res.output_of["distr"] == frozenset()
+
+    def test_addon_attr_is_a_def_not_a_use(self):
+        res = run_dataflow(make_ir(HYBRID), LivenessAnalysis())
+        # split keys on the group-defined attribute; the group kills it
+        assert "indegree" in res.output_of["split"]
+        assert "indegree" not in res.output_of["group"]
+        assert "vertex_b" in res.output_of["group"]
+        # vertex_a is never read anywhere
+        for op in ("group", "split", "distr"):
+            assert "vertex_a" not in res.output_of[op]
+
+
+class TestCardinalityAnalysis:
+    def test_rows_flow_forward(self):
+        res = run_dataflow(
+            make_ir(CHAIN),
+            CardinalityAnalysis(input_rows=1000.0, input_row_bytes=16.0),
+        )
+        for op in ("sort", "distr"):
+            assert res.input_of[op].rows == 1000.0
+            assert res.input_of[op].est_bytes == 16000.0
+
+    def test_split_fanin_does_not_double_count(self):
+        # both split outputs feed the distribute; the engine dedupes by
+        # producer so the distribute sees the split's rows once
+        res = run_dataflow(
+            make_ir(HYBRID),
+            CardinalityAnalysis(input_rows=500.0, input_row_bytes=16.0),
+        )
+        assert res.input_of["distr"].rows == 500.0
+
+    def test_group_widens_rows_and_applies_ratio(self):
+        res = run_dataflow(
+            make_ir(HYBRID),
+            CardinalityAnalysis(
+                input_rows=100.0,
+                input_row_bytes=16.0,
+                group_ratio=0.25,
+                addon_bytes={"group": 8.0},
+            ),
+        )
+        out = res.output_of["group"]
+        assert out.rows == 100.0
+        assert out.entries == 25.0
+        assert out.row_bytes == 24.0
+        assert out.packed  # hybrid group output declares format="pack"
+
+    def test_unknown_rows_stay_unknown(self):
+        res = run_dataflow(make_ir(CHAIN), CardinalityAnalysis())
+        assert res.input_of["distr"].rows is None
+        assert res.input_of["distr"].est_bytes is None
+
+    def test_converges_within_sweep_bound(self):
+        res = run_dataflow(make_ir(HYBRID), CardinalityAnalysis(input_rows=10.0))
+        assert res.iterations <= len(make_ir(HYBRID).nodes) + 1

@@ -888,3 +888,229 @@ class TestCatalogIntegrity:
             assert diag.file, diag
         located = [d for d in result.diagnostics if d.line is not None]
         assert len(located) >= 10
+
+
+ADVISORY_CHAIN = """<workflow id="t">
+  <arguments>
+    <param name="input_path" type="hdfs" format="blast_db"/>
+  </arguments>
+  <operators>
+    <operator id="a" operator="Sort">
+      <param name="inputPath" value="$input_path"/>
+      <param name="outputPath" value="/tmp/a"/>
+      <param name="key" value="seq_size"/>
+    </operator>
+    <operator id="b" operator="Distribute">
+      <param name="inputPath" value="$a.outputPath"/>
+      <param name="outputPath" value="/tmp/out"/>
+      <param name="distrPolicy" value="roundRobin"/>
+      <param name="numPartitions" value="4"/>
+    </operator>
+  </operators>
+</workflow>"""
+
+
+class TestAdvisories:
+    """PAP080-PAP084: INFO-severity optimization advisories over the IR."""
+
+    def test_pap080_dead_operator(self):
+        result = run_lint(
+            """<workflow id="t">
+  <arguments>
+    <param name="input_path" type="hdfs" format="blast_db"/>
+  </arguments>
+  <operators>
+    <operator id="a" operator="Sort">
+      <param name="inputPath" value="$input_path"/>
+      <param name="outputPath" value="/tmp/a"/>
+      <param name="key" value="seq_size"/>
+    </operator>
+    <operator id="dead" operator="Sort">
+      <param name="inputPath" value="$input_path"/>
+      <param name="outputPath" value="/tmp/dead"/>
+      <param name="key" value="seq_start"/>
+    </operator>
+    <operator id="b" operator="Distribute">
+      <param name="inputPath" value="$a.outputPath"/>
+      <param name="outputPath" value="/tmp/out"/>
+      <param name="distrPolicy" value="roundRobin"/>
+      <param name="numPartitions" value="4"/>
+    </operator>
+  </operators>
+</workflow>""",
+            inputs=[(BLAST_DB, "blast_db.xml")],
+        )
+        diag = expect(result, "PAP080", line=11)
+        assert diag.severity is Severity.INFO
+        assert "'dead'" in diag.message
+
+    def test_pap080_silent_on_linear_chain(self):
+        result = run_lint(ADVISORY_CHAIN, inputs=[(BLAST_DB, "blast_db.xml")])
+        assert "PAP080" not in result.codes()
+
+    def test_pap081_sort_into_sort(self):
+        result = run_lint(
+            """<workflow id="t">
+  <arguments>
+    <param name="input_path" type="hdfs" format="blast_db"/>
+  </arguments>
+  <operators>
+    <operator id="a" operator="Sort">
+      <param name="inputPath" value="$input_path"/>
+      <param name="outputPath" value="/tmp/a"/>
+      <param name="key" value="seq_size"/>
+    </operator>
+    <operator id="b" operator="Sort">
+      <param name="inputPath" value="$a.outputPath"/>
+      <param name="outputPath" value="/tmp/b"/>
+      <param name="key" value="seq_start"/>
+    </operator>
+  </operators>
+</workflow>""",
+            inputs=[(BLAST_DB, "blast_db.xml")],
+        )
+        diag = expect(result, "PAP081", line=6)
+        assert diag.severity is Severity.INFO
+        assert "redundant" in diag.message
+
+    def test_pap081_group_into_same_key_sort(self):
+        result = run_lint(
+            """<workflow id="t">
+  <arguments>
+    <param name="input_file" type="hdfs" format="texty"/>
+  </arguments>
+  <operators>
+    <operator id="g" operator="Group">
+      <param name="inputPath" value="$input_file"/>
+      <param name="outputPath" value="/tmp/g"/>
+      <param name="key" value="size"/>
+    </operator>
+    <operator id="s" operator="Sort">
+      <param name="inputPath" value="$g.outputPath"/>
+      <param name="outputPath" value="/tmp/s"/>
+      <param name="key" value="size"/>
+    </operator>
+  </operators>
+</workflow>""",
+            inputs=[(TEXT_DB, "texty.xml")],
+        )
+        expect(result, "PAP081", line=6)
+
+    def test_pap081_silent_on_sort_into_distribute(self):
+        """The paper's canonical pipeline: position permutation keeps order."""
+        result = run_lint(ADVISORY_CHAIN, inputs=[(BLAST_DB, "blast_db.xml")])
+        assert "PAP081" not in result.codes()
+
+    def test_pap082_collapsible_with_named_equivalent(self):
+        result = run_lint(
+            """<workflow id="t">
+  <arguments>
+    <param name="input_path" type="hdfs" format="blast_db"/>
+  </arguments>
+  <operators>
+    <operator id="a" operator="Distribute">
+      <param name="inputPath" value="$input_path"/>
+      <param name="outputPath" value="/tmp/a"/>
+      <param name="distrPolicy" value="block"/>
+      <param name="numPartitions" value="4"/>
+    </operator>
+    <operator id="b" operator="Distribute">
+      <param name="inputPath" value="$a.outputPath"/>
+      <param name="outputPath" value="/tmp/b"/>
+      <param name="distrPolicy" value="cyclic"/>
+      <param name="numPartitions" value="4"/>
+    </operator>
+  </operators>
+</workflow>""",
+            inputs=[(BLAST_DB, "blast_db.xml")],
+        )
+        diag = expect(result, "PAP082", line=6)
+        assert "equivalent to a single 'cyclic' distribute" in diag.message
+        assert "numPartitions=4" in diag.message
+
+    def test_pap082_generic_composition_message(self):
+        result = run_lint(
+            """<workflow id="t">
+  <arguments>
+    <param name="input_path" type="hdfs" format="blast_db"/>
+  </arguments>
+  <operators>
+    <operator id="a" operator="Distribute">
+      <param name="inputPath" value="$input_path"/>
+      <param name="outputPath" value="/tmp/a"/>
+      <param name="distrPolicy" value="cyclic"/>
+      <param name="numPartitions" value="4"/>
+    </operator>
+    <operator id="b" operator="Distribute">
+      <param name="inputPath" value="$a.outputPath"/>
+      <param name="outputPath" value="/tmp/b"/>
+      <param name="distrPolicy" value="cyclic"/>
+      <param name="numPartitions" value="4"/>
+    </operator>
+  </operators>
+</workflow>""",
+            inputs=[(BLAST_DB, "blast_db.xml")],
+        )
+        diag = expect(result, "PAP082", line=6)
+        assert "compose into one shuffle" in diag.message
+
+    def test_pap083_unused_columns_with_bytes_estimate(self):
+        result = run_lint(
+            ADVISORY_CHAIN,
+            inputs=[(BLAST_DB, "blast_db.xml")],
+            assume_records=1000,
+        )
+        diag = expect(result, "PAP083", line=3)
+        assert diag.severity is Severity.INFO
+        for col in ("'seq_start'", "'desc_start'", "'desc_size'"):
+            assert col in diag.message
+        # 1000 rows x 12 unused bytes x 1 intermediate exchange
+        assert "save an estimated 11.7KB" in diag.message
+
+    def test_pap083_silent_without_intermediate_exchange(self):
+        result = run_lint(
+            """<workflow id="t">
+  <arguments>
+    <param name="input_path" type="hdfs" format="blast_db"/>
+  </arguments>
+  <operators>
+    <operator id="a" operator="Sort">
+      <param name="inputPath" value="$input_path"/>
+      <param name="outputPath" value="/tmp/a"/>
+      <param name="key" value="seq_size"/>
+    </operator>
+  </operators>
+</workflow>""",
+            inputs=[(BLAST_DB, "blast_db.xml")],
+            assume_records=1000,
+        )
+        assert "PAP083" not in result.codes()
+
+    def test_pap084_exchange_hotspot(self):
+        result = run_lint(
+            ADVISORY_CHAIN,
+            inputs=[(BLAST_DB, "blast_db.xml")],
+            assume_records=20_000_000,  # x 16B/record = 305MB per exchange
+        )
+        diag = expect(result, "PAP084", line=6)
+        assert diag.severity is Severity.INFO
+        assert "hotspot threshold" in diag.message
+        # both the sort and the distribute exchange cross the line
+        assert len(only(result, "PAP084")) == 2
+
+    def test_pap084_silent_below_threshold(self):
+        result = run_lint(
+            ADVISORY_CHAIN,
+            inputs=[(BLAST_DB, "blast_db.xml")],
+            assume_records=1000,
+        )
+        assert "PAP084" not in result.codes()
+
+    def test_advisories_never_change_exit_code(self):
+        result = run_lint(
+            ADVISORY_CHAIN,
+            inputs=[(BLAST_DB, "blast_db.xml")],
+            assume_records=20_000_000,
+        )
+        assert {d.severity for d in result.diagnostics} == {Severity.INFO}
+        assert result.exit_code() == 0
