@@ -60,6 +60,48 @@ def test_backend_ablation(benchmark, data, reporter):
     shape(identical, "all backends produce identical partitions")
 
 
+def run_fused_ablation(data):
+    """The fused-exchange workload (sort -> sort -> distribute), plain vs
+    ``optimize=True``, on every backend: same partitions, fewer bytes."""
+    from bench_optimizer import FUSED_WORKFLOW_XML, shuffle_payload
+
+    papar = PaPar()
+    papar.register_input(BLAST_INPUT_XML)
+    cluster = ClusterModel(num_nodes=4, ranks_per_node=2, network=INFINIBAND_QDR)
+    exp = Experiment(
+        "Fused-exchange ablation",
+        "redundant sort removed by the optimizer, per backend",
+    )
+    identical = True
+    for backend in ("serial", "mpi", "mapreduce"):
+        kwargs = {} if backend == "serial" else {"num_ranks": RANKS, "cluster": cluster}
+        plain = papar.run(FUSED_WORKFLOW_XML, ARGS, data=data, backend=backend, **kwargs)
+        optimized = papar.run(
+            FUSED_WORKFLOW_XML, ARGS, data=data, backend=backend, optimize=True, **kwargs
+        )
+        for ours, theirs in zip(optimized.partitions, plain.partitions):
+            identical &= bool(np.array_equal(ours.records, theirs.records))
+        summary = optimized.extra["optimizer"]
+        exp.add(
+            backend=backend,
+            ranks=1 if backend == "serial" else RANKS,
+            bytes_moved_plain=shuffle_payload(plain),
+            bytes_moved_optimized=summary["measured_bytes_moved"],
+            exchanges_removed=summary["exchanges_removed"],
+            pruning_applied=bool(summary.get("pruning_applied")),
+        )
+    exp.note(f"optimized partitions identical to plain: {identical}")
+    return exp, identical
+
+
+def test_fused_exchange_ablation(benchmark, data, reporter):
+    exp, identical = benchmark.pedantic(
+        run_fused_ablation, args=(data,), rounds=1, iterations=1
+    )
+    reporter.record(exp)
+    shape(identical, "optimize=True is bit-identical on every backend")
+
+
 def test_hadoop_engine_flow(benchmark, reporter):
     """The same sort+distribute flow through the disk-shuffle Hadoop engine."""
     from repro.blast import mublastp_partition

@@ -1,0 +1,152 @@
+"""The optimizer's measured effect: fewer bytes over every exchange.
+
+Two workloads, one claim each:
+
+* the **fused-exchange** workflow (sort → sort → distribute) is the
+  PAP081 showcase — the optimizer removes a whole exchange *and* prunes
+  dead columns, and the measured shuffle payload must drop by at least
+  20% while the partitions stay bit-identical;
+* the **shipped BLAST** pipeline is structurally minimal, so every
+  saving comes from column pruning alone — the same ≥20% gate holds
+  (three of four index columns are dead until materialization).
+
+``PAPAR_BENCH_SMOKE=1`` shrinks the input for CI; the gate itself is
+identical in both modes because it is a ratio, not a wall-clock number.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import PaPar
+from repro.bench import Experiment, shape
+from repro.blast import generate_index
+from repro.config import BLAST_INPUT_XML
+from repro.config.examples import BLAST_WORKFLOW_XML
+from repro.core.dataset import Dataset
+from repro.formats import BLAST_INDEX_SCHEMA
+
+SMOKE = bool(int(os.environ.get("PAPAR_BENCH_SMOKE", "0")))
+N = 2_000 if SMOKE else 100_000
+RANKS = 4
+ARGS = {"input_path": "/in", "output_path": "/out", "num_partitions": 4}
+
+#: the minimum measured bytes-moved reduction the optimizer must deliver
+MIN_REDUCTION = 0.20
+
+#: a workload with a genuinely redundant exchange: the second sort keys on
+#: the same column, so the first sort's entire shuffle is wasted motion
+FUSED_WORKFLOW_XML = """\
+<workflow id="fused_exchange" name="fused exchange workload">
+  <arguments>
+    <param name="input_path" type="hdfs" format="blast_db"/>
+    <param name="output_path" type="hdfs" format="blast_db"/>
+    <param name="num_partitions" type="integer"/>
+  </arguments>
+  <operators>
+    <operator id="sort1" operator="Sort">
+      <param name="key" type="KeyId" value="seq_size"/>
+      <param name="inputPath" type="String" value="$input_path"/>
+      <param name="outputPath" type="String" value="/user/s1"/>
+    </operator>
+    <operator id="sort2" operator="Sort">
+      <param name="key" type="KeyId" value="seq_size"/>
+      <param name="inputPath" type="String" value="$sort1.outputPath"/>
+      <param name="outputPath" type="String" value="/user/s2"/>
+    </operator>
+    <operator id="distr" operator="Distribute">
+      <param name="inputPath" type="String" value="$sort2.outputPath"/>
+      <param name="outputPath" type="String" value="$output_path"/>
+      <param name="distrPolicy" type="DistrPolicy" value="roundRobin"/>
+      <param name="numPartitions" type="integer" value="$num_partitions"/>
+    </operator>
+  </operators>
+</workflow>
+"""
+
+
+@pytest.fixture(scope="module")
+def papar():
+    p = PaPar()
+    p.register_input(BLAST_INPUT_XML)
+    return p
+
+
+@pytest.fixture(scope="module")
+def data():
+    return Dataset.from_array(
+        BLAST_INDEX_SCHEMA, generate_index("env_nr", num_sequences=N, seed=61)
+    )
+
+
+def measure(papar, workflow_xml, data):
+    """Run plain and optimized on the mpi runtime; return both results."""
+    kw = dict(data=data, backend="mpi", num_ranks=RANKS)
+    plain = papar.run(workflow_xml, ARGS, **kw)
+    optimized = papar.run(workflow_xml, ARGS, optimize=True, **kw)
+    return plain, optimized
+
+
+def shuffle_payload(result):
+    """The perf-counter shuffle payload (what ``--stats`` reports).
+
+    ``result.bytes_moved`` is the fabric's wire count — pickled bytes of
+    rows that changed ranks — while the optimizer summary's
+    ``measured_bytes_moved`` is the perf counter: the logical payload of
+    every routed row.  The gate must compare like with like, so both
+    sides read the perf counter.
+    """
+    return result.extra.get("perf", {}).get("bytes_moved", result.bytes_moved)
+
+
+def check_identical(plain, optimized):
+    for ours, theirs in zip(optimized.partitions, plain.partitions):
+        np.testing.assert_array_equal(ours.records, theirs.records)
+
+
+@pytest.mark.parametrize(
+    "name,workflow_xml,want_rewrite",
+    [
+        pytest.param("fused_exchange", FUSED_WORKFLOW_XML, True,
+                     id="fused_exchange"),
+        pytest.param("blast_shipped", BLAST_WORKFLOW_XML, False,
+                     id="blast_shipped"),
+    ],
+)
+def test_optimizer_bytes_moved_gate(
+    benchmark, papar, data, reporter, name, workflow_xml, want_rewrite
+):
+    plain, optimized = benchmark.pedantic(
+        measure, args=(papar, workflow_xml, data), rounds=1, iterations=1
+    )
+    check_identical(plain, optimized)
+    summary = optimized.extra["optimizer"]
+    before = shuffle_payload(plain)
+    after = summary["measured_bytes_moved"]
+    reduction = 1.0 - after / before
+    exp = Experiment(
+        f"Optimizer gate {name}",
+        "measured shuffle payload, plain vs --optimize (mpi backend)",
+    )
+    exp.add(
+        workload=name,
+        records=len(data),
+        ranks=RANKS,
+        bytes_moved_plain=before,
+        bytes_moved_optimized=after,
+        reduction_pct=round(100 * reduction, 1),
+        rewrites=len(summary["rewrites"]),
+        exchanges_removed=summary["exchanges_removed"],
+        pruning_applied=bool(summary.get("pruning_applied")),
+    )
+    exp.note(f"partitions bit-identical; payload {before} -> {after} bytes")
+    reporter.record(exp)
+    if want_rewrite:
+        shape(summary["exchanges_removed"] >= 1,
+              "the fused workload loses at least one exchange")
+    shape(summary.get("pruning_applied") is True, "column pruning applied")
+    shape(
+        reduction >= MIN_REDUCTION,
+        f"bytes_moved must drop >= {MIN_REDUCTION:.0%}, got {reduction:.1%}",
+    )

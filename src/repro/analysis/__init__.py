@@ -49,6 +49,14 @@ _LAZY = {
     "ExplainReport": ("repro.analysis.explain", "ExplainReport"),
     "explain_workflow": ("repro.analysis.explain", "explain_workflow"),
     "explain_files": ("repro.analysis.explain", "explain_files"),
+    "PASS_NAMES": ("repro.analysis.optimize", "PASS_NAMES"),
+    "AppliedRewrite": ("repro.analysis.optimize", "AppliedRewrite"),
+    "RefusedRewrite": ("repro.analysis.optimize", "RefusedRewrite"),
+    "OptimizedPlan": ("repro.analysis.optimize", "OptimizedPlan"),
+    "OptimizeReport": ("repro.analysis.optimize", "OptimizeReport"),
+    "optimize_spec": ("repro.analysis.optimize", "optimize_spec"),
+    "optimize_workflow": ("repro.analysis.optimize", "optimize_workflow"),
+    "optimize_files": ("repro.analysis.optimize", "optimize_files"),
 }
 
 __all__ = sorted(_LAZY)

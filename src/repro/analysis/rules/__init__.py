@@ -311,10 +311,13 @@ CATALOG: dict[str, RuleSpec] = {
               "an operator whose outputs nothing downstream ever consumes",
               "The plan-IR found no edge (path match or $ref) from any of "
               "this operator's outputs to a later stage: the whole stage — "
-              "including its exchange, if any — is wasted work an "
-              "optimizer would delete.",
+              "including its exchange, if any — is wasted work. The "
+              "optimizer's dead-operator-elimination pass (papar optimize) "
+              "deletes exactly these stages.",
               "a Sort stage whose output path no later operator reads",
-              "consume $op.outputPath downstream, or delete the stage"),
+              "applied rewrite (dead-operator-elimination): the stage is "
+              "deleted; 'papar optimize' removes it and its exchange from "
+              "the plan"),
         _spec("PAP081", "redundant-exchange", Severity.INFO,
               "adjacent exchanges where the first shuffle's effect is discarded",
               "Sort and group redistribute records by key range; a second "
@@ -323,38 +326,60 @@ CATALOG: dict[str, RuleSpec] = {
               "discarding the first exchange's layout. One exchange "
               "suffices. (sort->distribute is NOT flagged: distribute's "
               "position permutation preserves the sorted order — the "
-              "paper's canonical pipeline.)",
-              "a Sort stage feeding another Sort on a different key",
-              "drop the first exchange; keep the one whose layout survives"),
+              "paper's canonical pipeline.) The "
+              "redundant-exchange-elimination pass applies the safe subset "
+              "of these: same-key shapes where the surviving exchange "
+              "reproduces the exact byte order; different-key and "
+              "distribute-fed shapes are refused because stable-sort tie "
+              "order depends on the dropped stage.",
+              "a Sort stage feeding another Sort on the same key",
+              "applied rewrite (redundant-exchange-elimination): "
+              "sort->sort on one key collapses to the second sort alone — "
+              "'papar optimize' drops the first exchange and re-points the "
+              "survivor at its input"),
         _spec("PAP082", "collapsible-permutation-chain", Severity.INFO,
               "adjacent distributes whose stride permutations compose into one",
               "Distribute policies are stride-permutation matrices (the "
               "paper's L_m^n formalism); products of permutation matrices "
-              "are permutation matrices, so two back-to-back distributes "
-              "always collapse into a single position shuffle — and often "
-              "into a single registered policy.",
+              "are permutation matrices, so back-to-back distributes "
+              "compose into a single position shuffle. The "
+              "permutation-chain-composition pass collapses the chains "
+              "whose composition is provably the identity (the runtimes "
+              "deal each upstream partition per stream, so general "
+              "compositions reorder rows within partitions and are "
+              "refused).",
               "distribute(cyclic) feeding distribute(block)",
-              "replace the chain with one distribute of the composed policy"),
+              "applied rewrite (permutation-chain-composition): "
+              "distribute(any, 1 partition) feeding distribute(p) is L_1 "
+              "compose L_p = L_p — 'papar optimize' deletes the "
+              "single-partition stage after probe-verifying equality"),
         _spec("PAP083", "unused-column", Severity.INFO,
               "input columns no key or add-on reads; pruning them shrinks "
               "every exchange",
               "Backward liveness found schema fields no operator's key or "
               "add-on ever reads. Workflows ship whole records through "
-              "every exchange; an optimizer could carry row-ids instead "
-              "and re-attach the unused columns at final materialization, "
-              "saving the reported bytes per intermediate exchange.",
+              "every exchange; the column-pruning pass carries row-ids "
+              "instead and re-attaches the unused columns at final "
+              "materialization, saving the reported bytes per exchange.",
               "a 4-column schema where only one column is ever a key",
-              "accepted: partitioning semantics keep full records; this "
-              "advisory just quantifies the pruning opportunity"),
+              "applied rewrite (column-pruning): 'papar run --optimize' "
+              "moves live columns plus a synthetic row id through every "
+              "exchange and re-attaches the pruned columns afterwards — "
+              "bit-identical output, narrower shuffles"),
         _spec("PAP084", "exchange-hotspot", Severity.INFO,
               "an exchange whose estimated payload exceeds the hotspot "
               "threshold",
               "The cost model estimates bytes moved per exchange from the "
               "input row count and the inferred record width; stages above "
               "the threshold dominate the run and are the first candidates "
-              "for tuning (more ranks, column pruning, combiners).",
+              "for tuning (more ranks, column pruning, combiners). No "
+              "single rewrite applies mechanically — but the optimizer "
+              "passes (especially column-pruning) usually shrink the "
+              "hotspot first.",
               "a sort over 10^8 records of 16-byte elements (1.6 GB moved)",
-              "tune the hotspot stage first: ranks, pruning, combiners"),
+              "applied mitigation: run 'papar optimize' — column-pruning "
+              "and exchange elimination shrink the hotspot; then tune "
+              "ranks/combiners for what remains"),
         # -- analyzer self-diagnosis ----------------------------------------
         _spec("PAP099", "internal-error", Severity.ERROR,
               "a lint rule crashed; please report the configuration",

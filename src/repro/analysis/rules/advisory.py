@@ -5,7 +5,13 @@ optimizer (ROADMAP item 2), reporting as INFO what a rewrite pass *would*
 do: delete dead stages, drop redundant exchanges, collapse composed
 stride permutations, prune unread columns, and point at the exchange
 that dominates the bytes-moved budget.  ``papar explain`` renders the
-same analyses as a report instead of diagnostics.
+same analyses as a report instead of diagnostics, and
+:mod:`repro.analysis.optimize` is the other half: it applies each
+advisory as a rewrite (``PASS_NAMES`` maps code -> pass) where the
+rewrite is provably bit-identical, and records a refusal where it is
+not — the advisory triggers here are deliberately broader than the
+rewrite preconditions there (an advisory is a conversation starter, a
+rewrite is a proof obligation).
 """
 
 from __future__ import annotations

@@ -5,9 +5,13 @@ runtime" with overrides from the command line; this CLI is that front end:
 
 * ``lint``     — statically analyze the configs and report every finding;
 * ``explain``  — render the analyzed plan-IR (schemas, liveness, exchange cost);
+* ``optimize`` — apply the PAP08x rewrite passes, show the plan diff;
 * ``plan``     — parse the configs, resolve arguments, print the job table;
 * ``codegen``  — emit the generated partitioner source;
 * ``run``      — partition an input file into ``part-NNNNN`` output files.
+
+``plan`` and ``run`` accept ``--optimize`` to execute the rewritten plan
+(outputs stay bit-identical; only the exchange payloads shrink).
 
 ``plan`` and ``run`` lint first and refuse configurations with errors
 (override with ``--no-lint``).
@@ -126,8 +130,36 @@ def build_parser() -> argparse.ArgumentParser:
                            help="assumed input record count when no real "
                                 "input file is bound")
 
+    p_opt = sub.add_parser(
+        "optimize",
+        help="apply the PAP08x rewrite passes and render the original -> "
+             "optimized plan diff",
+    )
+    p_opt.add_argument("workflow", metavar="WORKFLOW_XML",
+                       help="workflow configuration file")
+    p_opt.add_argument("--input", "--input-config", action="append",
+                       default=[], dest="input", metavar="FILE",
+                       help="input-data configuration XML (repeatable)")
+    p_opt.add_argument("--arg", action="append", default=[],
+                       metavar="NAME=VALUE",
+                       help="workflow argument (repeatable); binding the "
+                            "real input path enables file-backed row counts")
+    p_opt.add_argument("--format", choices=("text", "json"), default="text",
+                       help="report format (default: text)")
+    p_opt.add_argument("--ranks", type=int, default=None, metavar="N",
+                       help="intended rank count")
+    p_opt.add_argument("--assume-records", type=int, default=None, metavar="N",
+                       help="assumed input record count when no real input "
+                            "file is bound")
+    p_opt.add_argument("--memory-budget", default=None, metavar="SIZE",
+                       help="declared per-rank memory budget; column pruning "
+                            "refuses to fire on out-of-core runs")
+
     p_plan = sub.add_parser("plan", help="print the planned job sequence")
     common(p_plan)
+    p_plan.add_argument("--optimize", action="store_true",
+                        help="apply the PAP08x rewrite passes and plan the "
+                             "rewritten workflow")
 
     p_gen = sub.add_parser("codegen", help="emit the generated partitioner source")
     common(p_gen)
@@ -142,6 +174,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--stats", action="store_true",
                        help="print shuffle perf counters (records/bytes moved, "
                             "per-phase wall and virtual time)")
+    p_run.add_argument("--optimize", action="store_true",
+                       help="apply the PAP08x rewrite passes before running; "
+                            "outputs are bit-identical, exchanges move fewer "
+                            "bytes (see --stats)")
     p_run.add_argument("--faults", action="append", default=[], metavar="SPEC",
                        help="inject a fault (repeatable), e.g. "
                             "'crash:rank=1,job=0', 'drop:src=0,dst=2,p=0.5', "
@@ -267,6 +303,25 @@ def cmd_explain(ns: argparse.Namespace) -> int:
     return report.lint.exit_code()
 
 
+def cmd_optimize(ns: argparse.Namespace) -> int:
+    from repro.analysis.optimize import optimize_files
+
+    report = optimize_files(
+        ns.workflow,
+        ns.input,
+        args=_parse_arg_pairs(ns.arg),
+        ranks=ns.ranks,
+        assume_records=ns.assume_records,
+        memory_budget=ns.memory_budget,
+    )
+    if ns.format == "json":
+        print(report.render_json())
+    else:
+        print(report.render_text())
+    # refusals are informational; only real configuration errors fail
+    return report.before.lint.exit_code()
+
+
 def _lint_gate(ns: argparse.Namespace, papar: PaPar) -> Optional[int]:
     """Refuse to proceed when the configuration has lint errors.
 
@@ -303,6 +358,18 @@ def cmd_plan(ns: argparse.Namespace) -> int:
     gate = _lint_gate(ns, papar)
     if gate is not None:
         return gate
+    if ns.optimize:
+        optimized = papar.optimize(workflow, args)
+        workflow = optimized.workflow
+        summary = optimized.summary()
+        print(
+            f"optimizer: {len(summary['rewrites'])} rewrite(s), "
+            f"{summary['exchanges_removed']} exchange(s) removed"
+            + (", columns pruned" if summary["pruning"] else "")
+        )
+        for r in optimized.rewrites:
+            print(f"  {r.code} {r.pass_name}: removed "
+                  f"{', '.join(repr(x) for x in r.removed)} ({r.site})")
     plan = papar.plan(workflow, args)
     print(f"workflow {plan.workflow_id!r}: {len(plan.jobs)} job(s)")
     for i, job in enumerate(plan.jobs):
@@ -335,8 +402,39 @@ def _format_bytes(n: int) -> str:
     return f"{n} B"  # pragma: no cover - unreachable
 
 
+def print_optimizer_stats(result) -> None:
+    """Render ``extra['optimizer']`` (passes fired, bytes saved)."""
+    opt = result.extra.get("optimizer")
+    if not opt:
+        return
+    passes = ", ".join(opt["passes_fired"]) or "none"
+    print(
+        f"optimizer: passes fired: {passes}; "
+        f"{opt['operators_removed']} operator(s) and "
+        f"{opt['exchanges_removed']} exchange(s) removed"
+    )
+    for r in opt.get("rewrites", []):
+        print(f"  {r['code']} {r['pass']} at {r['site']}: "
+              f"removed {', '.join(r['removed'])}")
+    pruning = opt.get("pruning")
+    if pruning:
+        applied = "applied" if opt.get("pruning_applied") else "planned"
+        print(
+            f"  PAP083 column-pruning ({applied}): "
+            f"{', '.join(pruning['pruned'])} pruned, rows "
+            f"{pruning['full_row_bytes']}B -> {pruning['narrow_row_bytes']}B"
+        )
+    est = opt.get("est_bytes_saved")
+    est_text = _format_bytes(int(est)) if est is not None else "?"
+    print(
+        f"  estimated bytes saved: {est_text}; measured shuffle payload: "
+        f"{_format_bytes(opt['measured_bytes_moved'])}"
+    )
+
+
 def print_stats(result) -> None:
     """Render the perf-counter summary of a :class:`PartitionResult`."""
+    print_optimizer_stats(result)
     perf = result.extra.get("perf")
     if not perf:
         print("stats: (no perf counters recorded by this backend)")
@@ -444,7 +542,8 @@ def cmd_run(ns: argparse.Namespace) -> int:
     try:
         out = papar.partition_files(
             workflow, args, backend=ns.backend, num_ranks=ns.ranks,
-            memory_budget=ns.memory_budget, **fault_tolerance
+            memory_budget=ns.memory_budget, optimize=ns.optimize,
+            **fault_tolerance
         )
     finally:
         if armed:
@@ -486,6 +585,7 @@ def _export_observability(ns: argparse.Namespace, recorder, out) -> None:
 _COMMANDS = {
     "lint": cmd_lint,
     "explain": cmd_explain,
+    "optimize": cmd_optimize,
     "plan": cmd_plan,
     "codegen": cmd_codegen,
     "run": cmd_run,

@@ -94,6 +94,7 @@ def partition_files(
     cluster: Optional[Any] = None,
     schema_id: Optional[str] = None,
     memory_budget: Any = None,
+    optimize: bool = False,
     **fault_tolerance: Any,
 ) -> FilePartitionResult:
     """Read the input file, run the workflow, write the partition files.
@@ -103,6 +104,10 @@ def partition_files(
     (``faults``, ``checkpoint``, ``retry``, ``chaos_seed``,
     ``deadlock_grace``, plus an observability ``recorder``) are forwarded
     to :meth:`repro.PaPar.run`.
+
+    ``optimize=True`` runs the PAP08x rewrite passes first (see
+    ``docs/optimizer.md``); the part files are bit-identical either way —
+    pruned runs re-attach the dropped columns before writing.
 
     With a ``memory_budget``, the input file is *not* read into memory:
     it is opened as a :class:`~repro.ooc.ChunkedDataset` and streamed in
@@ -138,6 +143,7 @@ def partition_files(
         num_ranks=num_ranks,
         cluster=cluster,
         memory_budget=memory_budget,
+        optimize=optimize,
         **fault_tolerance,
     )
     paths = write_partition_files(args[output_arg], result, schema)

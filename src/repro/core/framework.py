@@ -149,6 +149,35 @@ class PaPar:
             do_plan=do_plan,
         )
 
+    def optimize(
+        self,
+        workflow: Union[WorkflowSpec, str],
+        args: Optional[dict[str, Any]] = None,
+        ranks: Optional[int] = None,
+        assume_records: Optional[int] = None,
+        memory_budget: Optional[str] = None,
+    ):
+        """Apply the PAP08x rewrite passes and return the optimized plan.
+
+        Returns an :class:`~repro.analysis.optimize.OptimizedPlan`: the
+        rewritten :class:`WorkflowSpec` plus the audit trail (rewrites
+        applied, rewrites refused and why, the planned column pruning, and
+        the cost-model estimates).  Schemas registered on this instance
+        drive the liveness and width analyses.  See ``docs/optimizer.md``.
+        """
+        from repro.analysis.optimize import optimize_spec
+
+        spec = self.load_workflow(workflow) if isinstance(workflow, str) else workflow
+        return optimize_spec(
+            spec,
+            args=args,
+            schemas=self._schemas,
+            ranks=ranks,
+            assume_records=assume_records,
+            memory_budget=memory_budget,
+            filename=spec.source_file,
+        )
+
     # -- planning and code generation ----------------------------------------------
 
     def plan(
@@ -216,6 +245,7 @@ class PaPar:
         num_ranks: int = 1,
         cluster: Optional[ClusterModel] = None,
         schema_id: Optional[str] = None,
+        optimize: bool = False,
         **fault_tolerance: Any,
     ):
         """End-to-end: read the input file, partition, write part-NNNNN files.
@@ -223,7 +253,8 @@ class PaPar:
         Extra keyword arguments (``faults``, ``checkpoint``, ``retry``,
         ``chaos_seed``, ``deadlock_grace``) configure fault tolerance, as in
         :meth:`run`; ``memory_budget`` streams the input out-of-core
-        instead of loading it (see :meth:`run`).
+        instead of loading it (see :meth:`run`); ``optimize`` applies the
+        PAP08x rewrite passes before planning (see :meth:`optimize`).
         """
         from repro.core.files import partition_files as _partition_files
 
@@ -235,6 +266,7 @@ class PaPar:
             num_ranks=num_ranks,
             cluster=cluster,
             schema_id=schema_id,
+            optimize=optimize,
             **fault_tolerance,
         )
 
@@ -255,8 +287,18 @@ class PaPar:
         deadlock_grace: Optional[float] = None,
         recorder: Any = None,
         memory_budget: Any = None,
+        optimize: bool = False,
     ) -> PartitionResult:
         """Plan (if needed) and execute a workflow over ``data``.
+
+        With ``optimize=True`` the workflow first runs through the PAP08x
+        rewrite passes (:meth:`optimize`): the rewritten job DAG executes
+        instead, column-pruned runs narrow the dataset through the
+        exchanges and re-attach the pruned columns afterwards, and the
+        result carries an ``optimizer`` section in
+        :attr:`PartitionResult.extra` (passes fired, exchanges removed,
+        estimated vs. measured bytes).  Outputs are bit-identical to the
+        unoptimized run on every backend.
 
         Fault tolerance (SPMD backends only — see :mod:`repro.fault`):
         ``faults`` takes a :class:`~repro.fault.FaultSchedule` (or CLI-style
@@ -278,12 +320,37 @@ class PaPar:
         ``docs/out-of-core.md``).  ``None`` (the default) keeps the
         in-memory fast path untouched.
         """
+        optimized = None
+        reattach_source = None
+        if optimize:
+            if isinstance(workflow, WorkflowPlan):
+                raise WorkflowError(
+                    "optimize=True needs the workflow configuration, not an "
+                    "already-planned WorkflowPlan"
+                )
+            optimized = self.optimize(
+                workflow, args, ranks=num_ranks,
+                memory_budget=memory_budget,
+            )
+            workflow = optimized.workflow
         if isinstance(workflow, WorkflowPlan):
             plan = workflow
         else:
             plan = self.plan(workflow, args)
         if data is None:
             raise WorkflowError("run() needs an in-memory Dataset via data=...")
+        if optimized is not None and optimized.pruning is not None:
+            pruning = optimized.pruning
+            if (
+                isinstance(data, Dataset)
+                and not data.is_packed
+                and all(data.schema.has_field(n) for n in pruning.live)
+                and not data.schema.has_field(pruning.rowid_field)
+            ):
+                from repro.core.pruning import narrow_dataset
+
+                reattach_source = data
+                data = narrow_dataset(data, pruning.live)
         ft = dict(
             faults=faults,
             checkpoint=checkpoint,
@@ -297,29 +364,50 @@ class PaPar:
                     "fault tolerance needs an SPMD backend; use 'mpi' or "
                     "'mapreduce' (or 'process' for checkpoint/retry recovery)"
                 )
-            return SerialRuntime(
+            result = SerialRuntime(
                 recorder=recorder, memory_budget=memory_budget
             ).execute(plan, data)
-        if backend == "mpi":
-            return MPIRuntime(
+        elif backend == "mpi":
+            result = MPIRuntime(
                 num_ranks=num_ranks, cluster=cluster, recorder=recorder,
                 memory_budget=memory_budget, **ft
             ).execute(plan, data)
-        if backend == "mapreduce":
+        elif backend == "mapreduce":
             from repro.core.mr_runtime import MapReduceRuntime
 
-            return MapReduceRuntime(
+            result = MapReduceRuntime(
                 num_ranks=num_ranks, cluster=cluster, recorder=recorder,
                 memory_budget=memory_budget, **ft
             ).execute(plan, data)
-        if backend == "process":
+        elif backend == "process":
             from repro.core.process_runtime import ProcessRuntime
 
-            return ProcessRuntime(
+            result = ProcessRuntime(
                 num_ranks=num_ranks, cluster=cluster, recorder=recorder,
                 memory_budget=memory_budget, **ft
             ).execute(plan, data)
-        raise WorkflowError(
-            f"unknown backend {backend!r}; "
-            "use 'serial', 'mpi', 'mapreduce' or 'process'"
-        )
+        else:
+            raise WorkflowError(
+                f"unknown backend {backend!r}; "
+                "use 'serial', 'mpi', 'mapreduce' or 'process'"
+            )
+        if reattach_source is not None:
+            from repro.core.pruning import reattach_partition
+
+            result.partitions = [
+                reattach_partition(p, reattach_source, optimized.pruning.live)
+                for p in result.partitions
+            ]
+        if optimized is not None:
+            summary = optimized.summary()
+            summary["pruning_applied"] = reattach_source is not None
+            perf = result.extra.get("perf") or {}
+            summary["measured_bytes_moved"] = perf.get(
+                "bytes_moved", result.bytes_moved
+            )
+            result.extra["optimizer"] = summary
+            if recorder is not None:
+                from repro.obs.adapters import record_optimizer
+
+                record_optimizer(recorder, summary)
+        return result

@@ -1,0 +1,93 @@
+"""Column-pruned execution (the applied form of advisory ``PAP083``).
+
+The optimizer's liveness pass (:mod:`repro.analysis.optimize`) decides
+*whether* a workflow can run on narrowed records; this module does the
+narrowing.  The contract mirrors the paper's "output has the same format
+of input" rule:
+
+1. :func:`narrow_dataset` keeps only the live columns plus a synthetic
+   ``__papar_rowid`` (the original row index), so every exchange moves
+   the narrow payload instead of full records;
+2. the unchanged plan runs over the narrow dataset — every operator
+   decision (sort keys, group keys, split conditions, distribute
+   positions) reads only live columns, so the row routing is identical;
+3. :func:`reattach_partition` rebuilds full-width partitions by gathering
+   the pruned columns from the held source dataset through the row ids,
+   preserving any attribute columns add-ons appended during the run.
+
+The result is bit-identical to the unoptimized run: same rows, same
+order, same schema — only the shuffle payload shrank in between.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.dataset import Dataset
+from repro.errors import WorkflowError
+from repro.formats.records import Field, RecordSchema
+
+#: synthetic column carrying the original row index through the run
+ROWID_FIELD = "__papar_rowid"
+
+
+def narrowed_schema(schema: RecordSchema, live: Iterable[str]) -> RecordSchema:
+    """The narrow layout: live fields in schema order plus the row id.
+
+    The narrow schema is binary regardless of the source format — it never
+    touches disk, it only rides through the in-memory exchanges — and gets
+    a derived id so it can never be confused with (or concatenated into)
+    the registered input schema.
+    """
+    live_set = set(live)
+    fields = [f for f in schema.fields if f.name in live_set]
+    fields.append(Field(ROWID_FIELD, "long"))
+    return RecordSchema(
+        id=f"{schema.id}__narrow",
+        fields=tuple(fields),
+        input_format="binary",
+        start_position=0,
+    )
+
+
+def narrow_dataset(data: Dataset, live: Iterable[str]) -> Dataset:
+    """Project ``data`` onto the live columns plus the row-id column."""
+    if data.is_packed:
+        raise WorkflowError("cannot narrow a packed dataset")
+    schema = narrowed_schema(data.schema, live)
+    records = np.empty(len(data.records), dtype=schema.dtype)
+    for f in schema.fields[:-1]:
+        records[f.name] = data.records[f.name]
+    records[ROWID_FIELD] = np.arange(len(data.records), dtype=np.int64)
+    return Dataset.from_array(schema, records)
+
+
+def reattach_partition(part: Dataset, source: Dataset, live: Iterable[str]) -> Dataset:
+    """Rebuild one full-width partition from its narrow counterpart.
+
+    ``part`` is a partition the runtime produced from a narrowed dataset
+    (possibly packed, possibly carrying add-on attribute columns);
+    ``source`` is the original full-width dataset.  Pruned columns are
+    gathered from ``source`` by row id; attribute columns the run appended
+    are copied through in their run order, so the result matches what the
+    unoptimized run would have produced byte for byte.
+    """
+    flat = part.to_flat()
+    live_set = set(live)
+    appended = [
+        f
+        for f in flat.schema.fields
+        if f.name != ROWID_FIELD and f.name not in live_set
+    ]
+    full_schema = source.schema
+    for f in appended:
+        full_schema = full_schema.with_field(f.name, f.type)
+    rowids = flat.records[ROWID_FIELD].astype(np.int64)
+    records = np.empty(len(flat.records), dtype=full_schema.dtype)
+    for f in source.schema.fields:
+        records[f.name] = source.records[f.name][rowids]
+    for f in appended:
+        records[f.name] = flat.records[f.name]
+    return Dataset.from_array(full_schema, records)

@@ -1,0 +1,64 @@
+"""Every catalogued rule teaches: bad + good examples, optimizer links.
+
+``papar lint --explain PAPnnn`` renders straight from :data:`CATALOG`, so
+an empty ``bad``/``good`` slot is a silent documentation hole — this
+module turns each hole into a failing test.  The PAP08x entries carry an
+extra obligation: their ``good`` examples must describe the *applied
+rewrite* (the optimizer pass from :data:`PASS_NAMES`), not just a manual
+edit, so the lint catalog and ``papar optimize`` stay in sync.
+"""
+
+from repro.analysis import CATALOG, all_codes
+from repro.analysis.optimize import PASS_NAMES
+
+
+def test_every_code_has_a_catalog_entry():
+    for code in all_codes():
+        assert code in CATALOG, f"{code} missing from CATALOG"
+
+
+def test_every_entry_has_summary_and_description():
+    for code, spec in CATALOG.items():
+        assert spec.summary.strip(), f"{code} has no summary"
+        assert (spec.description or spec.summary).strip(), (
+            f"{code} has no description"
+        )
+
+
+def test_every_entry_has_bad_and_good_examples():
+    for code, spec in CATALOG.items():
+        assert spec.bad.strip(), f"{code} has no bad example"
+        assert spec.good.strip(), f"{code} has no good example"
+
+
+def test_no_placeholder_text_survives():
+    for code, spec in CATALOG.items():
+        for slot in ("summary", "description", "bad", "good"):
+            text = getattr(spec, slot).lower()
+            assert "todo" not in text and "accepted:" not in text, (
+                f"{code}.{slot} still carries placeholder text"
+            )
+
+
+def test_advisory_goods_name_their_optimizer_pass():
+    for code, pass_name in PASS_NAMES.items():
+        spec = CATALOG[code]
+        assert "applied rewrite" in spec.good, (
+            f"{code}.good must show the applied rewrite, not a manual edit"
+        )
+        assert pass_name in spec.good, (
+            f"{code}.good must name its optimizer pass {pass_name!r}"
+        )
+
+
+def test_hotspot_advisory_points_at_the_optimizer():
+    spec = CATALOG["PAP084"]
+    assert "papar optimize" in spec.good
+
+
+def test_explain_dict_round_trips_examples():
+    for code, spec in CATALOG.items():
+        doc = spec.explain_dict()
+        assert doc["code"] == code
+        assert doc["bad"] == spec.bad
+        assert doc["good"] == spec.good

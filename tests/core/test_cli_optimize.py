@@ -1,0 +1,136 @@
+"""`papar optimize` and the `--optimize` flags, end to end over the CLI.
+
+These tests drive the same entry point a user does (``repro.cli.main``)
+on the shipped configurations: the optimize report in text and JSON, the
+``plan --optimize`` preamble, ``run --optimize`` writing bit-identical
+part files while ``--stats`` reports the pruned shuffle, and
+``lint --explain`` teaching the applied rewrite for every PAP08x code.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.blast import generate_index
+from repro.cli import main
+from repro.formats import BLAST_INDEX_SCHEMA, write_binary
+
+REPO = Path(__file__).resolve().parents[2]
+WORKFLOW = str(REPO / "configs" / "blast_partition.xml")
+INPUT_CFG = str(REPO / "configs" / "blast_db.xml")
+
+
+@pytest.fixture
+def blast_file(tmp_path):
+    index = generate_index("env_nr", num_sequences=300, seed=5)
+    path = tmp_path / "db.index"
+    write_binary(path, index, BLAST_INDEX_SCHEMA, header=b"\x00" * 32)
+    return path
+
+
+def optimize_args(extra=()):
+    return ["optimize", WORKFLOW, "--input", INPUT_CFG,
+            "--assume-records", "1000"] + list(extra)
+
+
+class TestOptimizeCommand:
+    def test_text_report_on_shipped_blast(self, capsys):
+        assert main(optimize_args()) == 0
+        out = capsys.readouterr().out
+        assert "optimize workflow 'blast_partition'" in out
+        assert "PAP083 column-pruning" in out
+        assert "== original plan ==" in out
+        assert "== optimized plan ==" in out
+
+    def test_json_report_on_shipped_blast(self, capsys):
+        assert main(optimize_args(["--format", "json"])) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == 1
+        assert doc["tool"] == "papar-optimize"
+        assert doc["workflow"] == "blast_partition"
+        summary = doc["summary"]
+        # the shipped pipeline is structurally minimal but prunable
+        assert summary["rewrites"] == []
+        assert summary["pruning"]["live"] == ["seq_size"]
+        assert summary["est_bytes_after"] < summary["est_bytes_before"]
+
+    def test_hybrid_cut_is_already_minimal(self, capsys):
+        rc = main([
+            "optimize", str(REPO / "configs" / "hybrid_cut.xml"),
+            "--input", str(REPO / "configs" / "graph_edge.xml"),
+            "--assume-records", "1000", "--format", "json",
+        ])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["summary"]["changed"] is False
+        assert doc["summary"]["rewrites"] == []
+
+    def test_memory_budget_refuses_pruning(self, capsys):
+        assert main(optimize_args(["--memory-budget", "64MB"])) == 0
+        out = capsys.readouterr().out
+        assert "plan already minimal: no rewrite fired" in out
+        assert "out-of-core" in out
+
+
+class TestPlanRunOptimize:
+    def base_args(self, blast_file, tmp_path):
+        return [
+            "--workflow", WORKFLOW,
+            "--input-config", INPUT_CFG,
+            "--arg", f"input_path={blast_file}",
+            "--arg", f"output_path={tmp_path / 'out'}",
+            "--arg", "num_partitions=4",
+        ]
+
+    def test_plan_optimize_prints_summary(self, blast_file, tmp_path, capsys):
+        rc = main(["plan"] + self.base_args(blast_file, tmp_path) + ["--optimize"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "optimizer: 0 rewrite(s), 0 exchange(s) removed, columns pruned" in out
+        assert "2 job(s)" in out
+
+    @pytest.mark.parametrize("backend", ["serial", "mpi", "mapreduce", "process"])
+    def test_run_optimize_bit_identical_part_files(
+        self, blast_file, tmp_path, capsys, backend
+    ):
+        plain_dir = tmp_path / "plain"
+        opt_dir = tmp_path / "opt"
+        base = [
+            "--workflow", WORKFLOW,
+            "--input-config", INPUT_CFG,
+            "--arg", f"input_path={blast_file}",
+            "--arg", "num_partitions=4",
+            "--backend", backend, "--ranks", "2",
+        ]
+        assert main(["run"] + base + ["--arg", f"output_path={plain_dir}"]) == 0
+        assert main(["run"] + base + ["--arg", f"output_path={opt_dir}",
+                                      "--optimize"]) == 0
+        plain = sorted(p.name for p in plain_dir.iterdir())
+        assert plain == sorted(p.name for p in opt_dir.iterdir())
+        for name in plain:
+            assert (plain_dir / name).read_bytes() == (opt_dir / name).read_bytes()
+
+    def test_run_optimize_stats_reports_pruning(self, blast_file, tmp_path, capsys):
+        rc = main(
+            ["run"] + self.base_args(blast_file, tmp_path)
+            + ["--optimize", "--stats", "--backend", "mpi", "--ranks", "4"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "wrote 4 partition(s)" in out
+        assert "optimizer: passes fired: column-pruning" in out
+        assert "PAP083 column-pruning (applied)" in out
+        assert "measured shuffle payload:" in out
+
+
+class TestLintExplainAdvisories:
+    @pytest.mark.parametrize("code", ["PAP080", "PAP081", "PAP082", "PAP083"])
+    def test_explain_shows_applied_rewrite(self, capsys, code):
+        assert main(["lint", "--explain", code]) == 0
+        out = capsys.readouterr().out
+        assert "applied rewrite" in out
+
+    def test_explain_pap084_points_at_optimizer(self, capsys):
+        assert main(["lint", "--explain", "PAP084"]) == 0
+        assert "papar optimize" in capsys.readouterr().out
