@@ -1,0 +1,146 @@
+"""Append latency and throughput of the streaming partition daemon.
+
+Runs a real daemon (``run_server`` on its own thread, the blocking
+:class:`ServeClient` over TCP) against the BLAST case-study workflow,
+appends a stream of batches, and measures the client-observed wall time
+of every append — including the rebalances a hair-trigger drift
+threshold forces mid-stream.  Reports p50/p95/p99 latency and sustained
+throughput, then cross-checks the daemon's own ``papar.serve`` metrics
+document against the client-side accounting.
+
+Shape gates: the final generation covers every appended record exactly
+(no loss, no duplication), the tail latency stays under a deliberately
+generous bound (this is a functional gate against pathological stalls,
+not a hardware claim), throughput clears a floor far below any healthy
+run, and at least one online rebalance actually fired so the numbers
+include the swap path.  ``PAPAR_BENCH_SMOKE=1`` shrinks the stream for
+CI.
+"""
+
+import asyncio
+import os
+import threading
+import time
+
+from repro.bench import Experiment, shape
+from repro.blast import generate_index
+from repro.config import BLAST_INPUT_XML
+from repro.config.examples import BLAST_WORKFLOW_XML
+from repro.formats import BLAST_INDEX_SCHEMA, write_binary
+from repro.serve import ServeClient, ServeConfig, run_server
+
+from repro import PaPar
+
+SMOKE = bool(int(os.environ.get("PAPAR_BENCH_SMOKE", "0")))
+WARM_RECORDS = 200 if SMOKE else 2_000
+APPENDS = 25 if SMOKE else 200
+BATCH = 20 if SMOKE else 50
+#: ceiling on client-observed p99 append latency — generous on purpose;
+#: a healthy run sits orders of magnitude below, so tripping it means a
+#: stall (event-loop blockage, runaway rebalance), not a slow machine
+P99_CEILING_MS = 5_000.0
+#: floor on sustained append throughput, records per second
+THROUGHPUT_FLOOR = 20.0
+
+
+def percentile(sorted_ms, q):
+    """Nearest-rank percentile of an ascending latency list."""
+    rank = max(1, round(q / 100.0 * len(sorted_ms)))
+    return sorted_ms[rank - 1]
+
+
+def rows_of(records):
+    return [list(r) for r in records.tolist()]
+
+
+def start_daemon(papar, args, config):
+    """Daemon on a thread; returns (host, port, thread, holder)."""
+    addr, ready, holder = {}, threading.Event(), {}
+
+    def serve():
+        holder["server"] = asyncio.run(run_server(
+            papar, BLAST_WORKFLOW_XML, args, config=config,
+            ready=lambda h, p: (addr.update(hp=(h, p)), ready.set()),
+        ))
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    if not ready.wait(120):
+        raise RuntimeError("daemon never came up")
+    host, port = addr["hp"]
+    return host, port, thread, holder
+
+
+def test_serve_append_latency(benchmark, reporter, tmp_path):
+    exp = Experiment(
+        id="serve-latency",
+        title="Streaming daemon append latency and throughput (BLAST workflow)",
+    )
+    index = generate_index("env_nr", num_sequences=WARM_RECORDS + APPENDS * BATCH,
+                           seed=11)
+    input_path = tmp_path / "db.index"
+    write_binary(input_path, index[:WARM_RECORDS], BLAST_INDEX_SCHEMA,
+                 header=b"\x00" * 32)
+    papar = PaPar()
+    papar.register_input(BLAST_INPUT_XML)
+    args = {"input_path": str(input_path),
+            "output_path": str(tmp_path / "out"), "num_partitions": 8}
+    batches = [rows_of(index[WARM_RECORDS + i * BATCH:
+                             WARM_RECORDS + (i + 1) * BATCH])
+               for i in range(APPENDS)]
+
+    def run():
+        # low threshold so the stream trips several online rebalances and
+        # the latency distribution includes the atomic-swap path
+        host, port, thread, holder = start_daemon(
+            papar, args, ServeConfig(rebalance_threshold=0.05))
+        latencies_ms = []
+        t0 = time.perf_counter()
+        with ServeClient(host, port) as client:
+            for rows in batches:
+                t = time.perf_counter()
+                client.append_ok(rows)
+                latencies_ms.append((time.perf_counter() - t) * 1e3)
+            elapsed = time.perf_counter() - t0
+            final = client.query()
+            client.drain()
+        thread.join(120)
+        assert not thread.is_alive()
+        return latencies_ms, elapsed, final, holder["server"]
+
+    latencies_ms, elapsed, final, server = benchmark.pedantic(
+        run, rounds=1, iterations=1)
+
+    appended = APPENDS * BATCH
+    ordered = sorted(latencies_ms)
+    p50, p95, p99 = (percentile(ordered, q) for q in (50, 95, 99))
+    throughput = appended / elapsed
+    doc = server.metrics_doc()
+
+    exp.add(appends=APPENDS, batch=BATCH, appended_records=appended,
+            p50_ms=round(p50, 3), p95_ms=round(p95, 3), p99_ms=round(p99, 3),
+            records_per_s=round(throughput, 1),
+            rebalances=doc["rebalances"],
+            final_generation=final["generation"])
+    exp.note(f"smoke mode: {SMOKE}; warm start {WARM_RECORDS} records, "
+             f"then {APPENDS} appends of {BATCH}")
+    exp.note(f"daemon-side append latency p99 "
+             f"{doc['append_latency_ms']['p99']:.3f} ms over "
+             f"{doc['append_latency_ms']['count']} samples")
+
+    shape(final["log_records"] == WARM_RECORDS + appended,
+          "the final log does not account for every appended record")
+    shape(final["total_records"] == sum(p["records"]
+                                        for p in final["partitions"]),
+          "published partitions disagree with their own total")
+    shape(doc["appended_records"] == appended,
+          "the daemon's appended-record counter drifted from the client's")
+    shape(doc["rebalances"] >= 1,
+          "no online rebalance fired; the latency numbers are vacuous")
+    shape(p99 < P99_CEILING_MS,
+          f"p99 append latency {p99:.1f} ms breaches the "
+          f"{P99_CEILING_MS:.0f} ms stall ceiling")
+    shape(throughput > THROUGHPUT_FLOOR,
+          f"throughput {throughput:.1f} records/s is below the "
+          f"{THROUGHPUT_FLOOR:.0f}/s floor")
+    reporter.record(exp)

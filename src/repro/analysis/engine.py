@@ -73,6 +73,7 @@ class Linter:
         backend: Optional[str] = None,
         faults: bool = False,
         checkpoint: bool = False,
+        serve: bool = False,
     ) -> None:
         #: schemas registered out-of-band (e.g. on a PaPar instance)
         self.schemas: dict[str, RecordSchema] = dict(schemas or {})
@@ -85,6 +86,9 @@ class Linter:
         self.backend = backend
         self.faults = faults
         self.checkpoint = checkpoint
+        #: True when the workflow will run under the streaming daemon
+        #: (PAP090 rules)
+        self.serve = serve
 
     # -- public API ----------------------------------------------------------
 
@@ -181,6 +185,7 @@ class Linter:
             backend=self.backend,
             faults=self.faults,
             checkpoint=self.checkpoint,
+            serve=self.serve,
         )
 
         # -- PAP051: supplied input configs nothing references ----------
@@ -292,12 +297,13 @@ def lint_workflow(
     backend: Optional[str] = None,
     faults: bool = False,
     checkpoint: bool = False,
+    serve: bool = False,
 ) -> LintResult:
     """Convenience one-call form of :class:`Linter`."""
     return Linter(
         schemas=schemas, ranks=ranks,
         memory_budget=memory_budget, assume_records=assume_records,
-        backend=backend, faults=faults, checkpoint=checkpoint,
+        backend=backend, faults=faults, checkpoint=checkpoint, serve=serve,
     ).lint(
         workflow_xml, filename=filename, inputs=inputs, args=args, do_plan=do_plan
     )
@@ -315,12 +321,13 @@ def lint_files(
     backend: Optional[str] = None,
     faults: bool = False,
     checkpoint: bool = False,
+    serve: bool = False,
 ) -> LintResult:
     """Convenience one-call form over files on disk."""
     return Linter(
         schemas=schemas, ranks=ranks,
         memory_budget=memory_budget, assume_records=assume_records,
-        backend=backend, faults=faults, checkpoint=checkpoint,
+        backend=backend, faults=faults, checkpoint=checkpoint, serve=serve,
     ).lint_paths(
         workflow_path, input_paths, args=args, do_plan=do_plan
     )

@@ -326,6 +326,9 @@ class LintContext:
     faults: bool = False
     #: True when a checkpoint store/directory is declared for the run
     checkpoint: bool = False
+    #: True when the workflow is destined for the streaming daemon
+    #: (``papar serve``); enables the serving-fit rules (PAP090)
+    serve: bool = False
     #: declared per-rank memory budget spec (e.g. "64MB"), when given
     memory_budget: Optional[str] = None
     #: assumed input record count for budget sizing (with memory_budget)

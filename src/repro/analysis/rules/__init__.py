@@ -380,6 +380,19 @@ CATALOG: dict[str, RuleSpec] = {
               "applied mitigation: run 'papar optimize' — column-pruning "
               "and exchange elimination shrink the hotspot; then tune "
               "ranks/combiners for what remains"),
+        # -- streaming-service fit (PAP09x) -----------------------------------
+        _spec("PAP090", "stream-unsafe-policy", Severity.WARNING,
+              "a serve workflow routes appends by arrival order, not by key",
+              "The streaming daemon routes incremental appends through the "
+              "last sort/group stage feeding the final distribute. With "
+              "neither, records are dealt by *position* (the permutation "
+              "policies are order-sensitive): which partition an appended "
+              "record lands in depends on when its batch arrived, and only "
+              "a full rebalance reconciles placement with the batch run.",
+              "a lone <operator operator=\"Distribute\"> served with "
+              "--serve and policy cyclic",
+              "put a Sort or Group stage before the distribute so appends "
+              "route by each record's own key"),
         # -- analyzer self-diagnosis ----------------------------------------
         _spec("PAP099", "internal-error", Severity.ERROR,
               "a lint rule crashed; please report the configuration",
@@ -415,6 +428,7 @@ def _load() -> None:
         plan,
         references,
         schema_flow,
+        serve,
     )
 
 

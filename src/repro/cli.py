@@ -8,7 +8,10 @@ runtime" with overrides from the command line; this CLI is that front end:
 * ``optimize`` — apply the PAP08x rewrite passes, show the plan diff;
 * ``plan``     — parse the configs, resolve arguments, print the job table;
 * ``codegen``  — emit the generated partitioner source;
-* ``run``      — partition an input file into ``part-NNNNN`` output files.
+* ``run``      — partition an input file into ``part-NNNNN`` output files;
+* ``serve``    — keep the partitions hot in a long-lived daemon that
+  accepts incremental appends, rebalances online, and publishes atomic
+  snapshots (see ``docs/streaming-service.md``).
 
 ``plan`` and ``run`` accept ``--optimize`` to execute the rewritten plan
 (outputs stay bit-identical; only the exchange payloads shrink).
@@ -106,6 +109,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument("--checkpoint-dir", metavar="DIR",
                         help="checkpoint directory the run would use; "
                              "silences PAP072 for large process-backend runs")
+    p_lint.add_argument("--serve", action="store_true",
+                        help="the workflow is destined for the streaming "
+                             "daemon (enables the serving-fit rules, PAP090)")
 
     p_explain = sub.add_parser(
         "explain",
@@ -216,6 +222,35 @@ def build_parser() -> argparse.ArgumentParser:
                        help="bound each rank's working set (e.g. 64MB); "
                             "the input streams in chunks and oversized "
                             "shuffles/sorts spill to run files")
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the streaming partition daemon: load the workflow once, "
+             "hold partitions hot, accept incremental appends",
+    )
+    common(p_serve)
+    p_serve.set_defaults(serve=True)  # turns on the PAP090 lint-gate rules
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="listen address (default: 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="listen port; 0 picks a free one and prints it")
+    p_serve.add_argument("--backend", default="serial",
+                         choices=("serial", "mpi", "mapreduce", "process"),
+                         help="backend for the warm start and background "
+                              "rebuilds (default: serial)")
+    p_serve.add_argument("--ranks", type=int, default=1,
+                         help="rank count for warm start and rebuilds")
+    p_serve.add_argument("--rebalance-threshold", type=float, default=None,
+                         metavar="RATIO",
+                         help="skew/drift ratio past which an online "
+                              "repartition is scheduled (default 0.5)")
+    p_serve.add_argument("--max-pending", type=int, default=64, metavar="N",
+                         help="append queue depth before 429-style rejection")
+    p_serve.add_argument("--snapshot-dir", metavar="DIR",
+                         help="publish versioned snapshots here; also "
+                              "enables warm restart from the latest one")
+    p_serve.add_argument("--metrics", metavar="FILE",
+                         help="write the papar.serve metrics JSON on exit")
     return parser
 
 
@@ -272,6 +307,7 @@ def cmd_lint(ns: argparse.Namespace) -> int:
         backend=ns.backend,
         faults=bool(ns.faults),
         checkpoint=bool(ns.checkpoint_dir),
+        serve=ns.serve,
     ).lint_paths(
         ns.workflow,
         ns.input,
@@ -340,6 +376,7 @@ def _lint_gate(ns: argparse.Namespace, papar: PaPar) -> Optional[int]:
         # injection specs only: checkpoint/retry are recovery, legal everywhere
         faults=bool(getattr(ns, "faults", None)),
         checkpoint=bool(getattr(ns, "checkpoint_dir", None)),
+        serve=bool(getattr(ns, "serve", False)),
     )
     if result.errors:
         for diag in result.errors:
@@ -582,6 +619,50 @@ def _export_observability(ns: argparse.Namespace, recorder, out) -> None:
         print_timeline(recorder)
 
 
+def cmd_serve(ns: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.obs import Recorder
+    from repro.serve import ServeConfig, run_server
+
+    papar, workflow, args = _load(ns)
+    gate = _lint_gate(ns, papar)
+    if gate is not None:
+        return gate
+    config = ServeConfig(
+        host=ns.host,
+        port=ns.port,
+        max_pending=ns.max_pending,
+        snapshot_dir=ns.snapshot_dir,
+        backend=ns.backend,
+        num_ranks=ns.ranks,
+    )
+    if ns.rebalance_threshold is not None:
+        config.rebalance_threshold = ns.rebalance_threshold
+    recorder = Recorder()
+
+    def ready(host: str, port: int) -> None:
+        # the smoke scripts and tests parse this line to find the port
+        print(f"serving on {host}:{port}", flush=True)
+
+    server = asyncio.run(
+        run_server(papar, workflow, args, config=config,
+                   recorder=recorder, ready=ready)
+    )
+    if ns.metrics:
+        with open(ns.metrics, "w", encoding="utf-8") as fh:
+            json.dump(server.metrics_doc(), fh, indent=2)
+        print(f"wrote metrics {ns.metrics}")
+    generation = server.state.current
+    print(
+        f"drained at generation "
+        f"{generation.generation if generation else '<none>'} "
+        f"({server.state.log_records} records)"
+    )
+    return 0
+
+
 _COMMANDS = {
     "lint": cmd_lint,
     "explain": cmd_explain,
@@ -589,6 +670,7 @@ _COMMANDS = {
     "plan": cmd_plan,
     "codegen": cmd_codegen,
     "run": cmd_run,
+    "serve": cmd_serve,
 }
 
 

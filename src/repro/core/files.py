@@ -61,6 +61,42 @@ def find_io_arguments(spec: WorkflowSpec) -> tuple[str, str]:
     return input_arg, output_arg
 
 
+def load_input_dataset(
+    papar: Any,
+    spec: WorkflowSpec,
+    args: dict[str, Any],
+    schema_id: Optional[str] = None,
+    memory_budget: Any = None,
+) -> tuple[Any, RecordSchema]:
+    """Resolve and read the workflow's input file as ``(dataset, schema)``.
+
+    The input path comes from the spec's ``input*`` argument (the paper's
+    config convention); with a ``memory_budget`` the file is opened as a
+    streamed :class:`~repro.ooc.ChunkedDataset` instead of read into memory.
+    Shared by :func:`partition_files` and the daemon's warm start, which
+    must agree on how bytes become records.
+    """
+    input_arg, _ = find_io_arguments(spec)
+    if input_arg not in args:
+        raise WorkflowError(f"workflow {spec.id!r} needs {input_arg!r} in args")
+    fmt_id = schema_id or spec.arguments[input_arg].format
+    if not fmt_id:
+        raise WorkflowError(
+            f"argument {input_arg!r} declares no input format and no schema_id given"
+        )
+    schema = papar.schema(fmt_id)
+    if memory_budget is not None:
+        from repro.ooc.budget import MemoryBudget
+        from repro.ooc.chunked import ChunkedDataset
+
+        data: Any = ChunkedDataset(
+            args[input_arg], schema, MemoryBudget.coerce(memory_budget)
+        )
+    else:
+        data = papar.load_dataset(args[input_arg], fmt_id)
+    return data, schema
+
+
 def write_partition_files(
     output_dir: PathLike,
     result: PartitionResult,
@@ -120,21 +156,9 @@ def partition_files(
         raise WorkflowError(
             f"partition_files needs {input_arg!r} and {output_arg!r} in args"
         )
-    fmt_id = schema_id or spec.arguments[input_arg].format
-    if not fmt_id:
-        raise WorkflowError(
-            f"argument {input_arg!r} declares no input format and no schema_id given"
-        )
-    schema = papar.schema(fmt_id)
-    if memory_budget is not None:
-        from repro.ooc.budget import MemoryBudget
-        from repro.ooc.chunked import ChunkedDataset
-
-        data: Any = ChunkedDataset(
-            args[input_arg], schema, MemoryBudget.coerce(memory_budget)
-        )
-    else:
-        data = papar.load_dataset(args[input_arg], fmt_id)
+    data, schema = load_input_dataset(
+        papar, spec, args, schema_id=schema_id, memory_budget=memory_budget
+    )
     result = papar.run(
         spec,
         args,

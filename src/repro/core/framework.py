@@ -90,6 +90,7 @@ class PaPar:
         backend: Optional[str] = None,
         faults: bool = False,
         checkpoint: bool = False,
+        serve: bool = False,
     ):
         """Statically analyze a workflow configuration without executing it.
 
@@ -114,6 +115,7 @@ class PaPar:
             schemas=self._schemas, ranks=ranks,
             memory_budget=memory_budget, assume_records=assume_records,
             backend=backend, faults=faults, checkpoint=checkpoint,
+            serve=serve,
         ).lint(
             xml,
             filename=filename,
@@ -134,6 +136,7 @@ class PaPar:
         backend: Optional[str] = None,
         faults: bool = False,
         checkpoint: bool = False,
+        serve: bool = False,
     ):
         """Statically analyze configuration files (see :meth:`lint`)."""
         from repro.analysis.engine import Linter
@@ -142,6 +145,7 @@ class PaPar:
             schemas=self._schemas, ranks=ranks,
             memory_budget=memory_budget, assume_records=assume_records,
             backend=backend, faults=faults, checkpoint=checkpoint,
+            serve=serve,
         ).lint_paths(
             os.fspath(workflow_path),
             [os.fspath(p) for p in input_paths],
@@ -269,6 +273,39 @@ class PaPar:
             optimize=optimize,
             **fault_tolerance,
         )
+
+    def warm_start(
+        self,
+        workflow: Union[WorkflowSpec, str],
+        args: dict[str, Any],
+        backend: str = "serial",
+        num_ranks: int = 1,
+        cluster: Optional[ClusterModel] = None,
+        schema_id: Optional[str] = None,
+        recorder: Any = None,
+    ) -> tuple[WorkflowSpec, RecordSchema, Dataset, PartitionResult]:
+        """Load the input file and partition it **in memory** — no part files.
+
+        The file-less twin of :meth:`partition_files`, built for long-lived
+        consumers (the ``serve`` daemon) that keep the partitions hot
+        instead of materializing them: returns ``(spec, input schema,
+        input dataset, result)`` so the caller owns both the raw records
+        (the daemon's append-log seed) and the partitioned output.
+        """
+        from repro.core.files import load_input_dataset
+
+        spec = self.load_workflow(workflow) if isinstance(workflow, str) else workflow
+        data, schema = load_input_dataset(self, spec, args, schema_id=schema_id)
+        result = self.run(
+            spec,
+            args,
+            data=data,
+            backend=backend,
+            num_ranks=num_ranks,
+            cluster=cluster,
+            recorder=recorder,
+        )
+        return spec, schema, data, result
 
     # -- execution ---------------------------------------------------------------------
 

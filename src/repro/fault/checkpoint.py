@@ -66,6 +66,15 @@ class CheckpointStore:
         """Drop every stored snapshot."""
         raise NotImplementedError
 
+    def delete(self, key: str) -> None:
+        """Drop the snapshot under ``key``; absent keys are a no-op.
+
+        Retention callers (the serve snapshot store pruning superseded
+        generations) need single-key removal without :meth:`clear`'s
+        drop-everything semantics.
+        """
+        raise NotImplementedError
+
     def __contains__(self, key: str) -> bool:
         return self.contains(key)
 
@@ -109,6 +118,11 @@ class MemoryCheckpointStore(CheckpointStore):
         """Drop every stored snapshot."""
         with self._lock:
             self._data.clear()
+
+    def delete(self, key: str) -> None:
+        """Drop the snapshot under ``key``; absent keys are a no-op."""
+        with self._lock:
+            self._data.pop(key, None)
 
     @property
     def nbytes(self) -> int:
@@ -195,6 +209,13 @@ class DiskCheckpointStore(CheckpointStore):
         for name in os.listdir(self.directory):
             if name.endswith(self._SUFFIX):
                 os.unlink(os.path.join(self.directory, name))
+
+    def delete(self, key: str) -> None:
+        """Remove the file under ``key``; absent keys are a no-op."""
+        try:
+            os.unlink(self._path(key))
+        except FileNotFoundError:
+            pass
 
 
 # -- key derivation ------------------------------------------------------------

@@ -1,0 +1,155 @@
+"""Graceful process teardown shared by the CLI runtimes and the daemon.
+
+Two consumers need the same discipline when SIGTERM/SIGINT arrives:
+
+* :func:`repro.mpi.process_backend.run_mpi_processes` — its ``finally``
+  block is what terminates the worker gang and unlinks the pooled
+  ``/dev/shm`` segments.  Python's default SIGTERM disposition kills the
+  interpreter *without* running ``finally`` blocks, so an interrupted CLI
+  run used to leave segments behind for the next run's sweep to collect.
+  Wrapping the run in :func:`graceful_teardown` converts the first
+  SIGTERM/SIGINT into a :class:`ShutdownRequested` exception raised in the
+  main thread, which unwinds through the cleanup path like any other error.
+* the streaming partition daemon (:mod:`repro.serve`) — SIGTERM/SIGINT must
+  drain in-flight requests, flush a final snapshot, and exit 0.  Its
+  asyncio loop registers :func:`install_async_shutdown` instead, which
+  invokes a drain callback exactly once.
+
+Both paths share the "first signal is polite, second signal is immediate"
+convention: a repeated signal restores the previous disposition and
+re-raises it, so a wedged teardown can still be killed from the terminal.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import signal
+import threading
+from typing import Any, Callable, Iterator, Optional, Sequence
+
+#: the signals a graceful teardown intercepts
+DEFAULT_SIGNALS: tuple[int, ...] = (signal.SIGTERM, signal.SIGINT)
+
+
+class ShutdownRequested(BaseException):
+    """Raised in the main thread when a teardown signal arrives.
+
+    Derives from :class:`BaseException` (like ``KeyboardInterrupt``) so
+    ordinary ``except Exception`` recovery paths do not swallow it; callers
+    that want to exit cleanly catch it explicitly and return 0.
+    """
+
+    def __init__(self, signum: int) -> None:
+        self.signum = signum
+        try:
+            name = signal.Signals(signum).name
+        except ValueError:  # pragma: no cover - unknown signal number
+            name = str(signum)
+        super().__init__(f"shutdown requested by {name}")
+
+
+@contextlib.contextmanager
+def graceful_teardown(
+    signals: Sequence[int] = DEFAULT_SIGNALS,
+) -> Iterator[Callable[[], bool]]:
+    """Convert the first SIGTERM/SIGINT into :class:`ShutdownRequested`.
+
+    Usage::
+
+        with graceful_teardown() as requested:
+            try:
+                ...  # work whose ``finally`` blocks must run on SIGTERM
+            finally:
+                cleanup()
+
+    The first intercepted signal raises :class:`ShutdownRequested` in the
+    main thread, so the ``finally`` cleanup runs; a second signal restores
+    the previous handler and re-raises itself (immediate teardown).  The
+    yielded callable reports whether a shutdown was requested — cleanup
+    code can branch on it without catching the exception early.
+
+    Outside the main thread (or where handlers cannot be installed, e.g.
+    under some embedded interpreters) this is a no-op context: signals keep
+    their existing behavior and the callable always returns ``False``.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield lambda: False
+        return
+    fired = {"signum": None}
+    previous: dict[int, Any] = {}
+
+    def _restore() -> None:
+        for signum, handler in previous.items():
+            try:
+                signal.signal(signum, handler)
+            except (ValueError, OSError):  # pragma: no cover - teardown race
+                pass
+
+    def _handler(signum: int, frame: Any) -> None:
+        if fired["signum"] is not None:
+            # second signal: stop being polite
+            _restore()
+            signal.raise_signal(signum)
+            return
+        fired["signum"] = signum
+        raise ShutdownRequested(signum)
+
+    try:
+        for signum in signals:
+            previous[signum] = signal.signal(signum, _handler)
+    except (ValueError, OSError):  # pragma: no cover - exotic platforms
+        _restore()
+        yield lambda: False
+        return
+    try:
+        yield lambda: fired["signum"] is not None
+    finally:
+        _restore()
+
+
+def install_async_shutdown(
+    loop: Any,
+    callback: Callable[[int], Any],
+    signals: Sequence[int] = DEFAULT_SIGNALS,
+) -> Callable[[], None]:
+    """Register ``callback(signum)`` on ``loop`` for the teardown signals.
+
+    The callback fires at most once (repeated signals are ignored while the
+    drain is already under way — asyncio teardown is idempotent, unlike the
+    synchronous path's escalation).  Returns a remover that uninstalls the
+    handlers; safe to call more than once.
+
+    On platforms without ``loop.add_signal_handler`` (Windows) this falls
+    back to a no-op remover and leaves signal behavior unchanged.
+    """
+    fired = {"done": False}
+    installed: list[int] = []
+
+    def _fire(signum: int) -> None:
+        if fired["done"]:
+            return
+        fired["done"] = True
+        callback(signum)
+
+    for signum in signals:
+        try:
+            loop.add_signal_handler(signum, _fire, signum)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            continue
+        installed.append(signum)
+
+    def _remove() -> None:
+        for signum in installed:
+            with contextlib.suppress(Exception):
+                loop.remove_signal_handler(signum)
+        installed.clear()
+
+    return _remove
+
+
+__all__ = [
+    "DEFAULT_SIGNALS",
+    "ShutdownRequested",
+    "graceful_teardown",
+    "install_async_shutdown",
+]

@@ -57,6 +57,7 @@ import numpy as np
 from repro.cluster.clock import VirtualClock
 from repro.cluster.model import ClusterModel
 from repro.errors import MPIError
+from repro.lifecycle import graceful_teardown
 from repro.mpi.comm import Communicator
 from repro.mpi.constants import ANY_SOURCE, ANY_TAG
 from repro.mpi.fabric import Message, TrafficStats
@@ -373,9 +374,6 @@ def run_mpi_processes(
         )
         for rank in range(size)
     ]
-    for p in procs:
-        p.start()
-
     results: list[Any] = [None] * size
     clocks = [0.0] * size
     traffic: dict[int, dict[str, Any]] = {}
@@ -402,40 +400,47 @@ def run_mpi_processes(
             # materialize the result out of shared memory before cleanup
             results[rank] = decode_payload(exit_msg["payload"], copy=True)
 
-    supervisor = Supervisor(
-        procs, result_queue, heartbeat_queue,
-        timeout=timeout, hang_timeout=hang_timeout,
-    )
-    try:
+    # SIGTERM's default disposition skips ``finally`` blocks entirely, which
+    # used to leak the gang and its /dev/shm segments when a CLI run was
+    # interrupted; graceful_teardown turns the first signal into an exception
+    # that unwinds through the teardown below (second signal kills for real)
+    with graceful_teardown():
+        for p in procs:
+            p.start()
+        supervisor = Supervisor(
+            procs, result_queue, heartbeat_queue,
+            timeout=timeout, hang_timeout=hang_timeout,
+        )
         try:
-            for exit_msg in supervisor.exits():
-                _absorb(exit_msg, decode=True)
-                if exit_msg["status"] == "error":
-                    break
-        except MPIError as exc:  # WorkerCrash, hang, or global timeout
-            if first_error is None:
-                first_error = exc
-        if first_error is not None:
-            # drain sibling exits best-effort so the transport accounting and
-            # segment ledgers are complete even on failure
-            drain_deadline = time_mod.monotonic() + ERROR_DRAIN_GRACE
-            while len(seen) < size and time_mod.monotonic() < drain_deadline:
-                try:
-                    _absorb(result_queue.get(timeout=0.05), decode=False)
-                except (queue_mod.Empty, OSError, ValueError):
-                    pass
-    finally:
-        _shutdown_gang(procs)
-        for exit_msg in _drain(result_queue):
             try:
-                _absorb(exit_msg, decode=False)
-            except Exception:  # a killed writer can tear a message mid-pickle
-                break
-        # unlink the union of the ledger and a /dev/shm prefix scan: a crashed
-        # worker's segments show up in at least one of the two
-        names = set(_drain(names_queue)) | set(scan_segments(prefix))
-        unlinked = unlink_segments(names)
-        sweep_pending_closes()
+                for exit_msg in supervisor.exits():
+                    _absorb(exit_msg, decode=True)
+                    if exit_msg["status"] == "error":
+                        break
+            except MPIError as exc:  # WorkerCrash, hang, or global timeout
+                if first_error is None:
+                    first_error = exc
+            if first_error is not None:
+                # drain sibling exits best-effort so the transport accounting
+                # and segment ledgers are complete even on failure
+                drain_deadline = time_mod.monotonic() + ERROR_DRAIN_GRACE
+                while len(seen) < size and time_mod.monotonic() < drain_deadline:
+                    try:
+                        _absorb(result_queue.get(timeout=0.05), decode=False)
+                    except (queue_mod.Empty, OSError, ValueError):
+                        pass
+        finally:
+            _shutdown_gang(procs)
+            for exit_msg in _drain(result_queue):
+                try:
+                    _absorb(exit_msg, decode=False)
+                except Exception:  # killed writer can tear a message mid-pickle
+                    break
+            # unlink the union of the ledger and a /dev/shm prefix scan: a
+            # crashed worker's segments show up in at least one of the two
+            names = set(_drain(names_queue)) | set(scan_segments(prefix))
+            unlinked = unlink_segments(names)
+            sweep_pending_closes()
     if first_error is not None:
         try:
             first_error.papar_transport = _merge_transport(prefix, traffic, pools, unlinked)

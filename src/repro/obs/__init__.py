@@ -15,12 +15,20 @@ this package and the hot path is untouched (see
 the walkthrough and the metrics schema.
 """
 
-from repro.obs.adapters import record_fault_report, record_perf, record_tracer
+from repro.obs.adapters import (
+    record_fault_report,
+    record_perf,
+    record_rebalance,
+    record_serve_request,
+    record_tracer,
+)
 from repro.obs.export import (
     DRIVER_PID,
     METRICS_VERSION,
+    SERVE_METRICS_VERSION,
     chrome_trace,
     metrics_json,
+    serve_metrics_json,
     write_chrome_trace,
     write_metrics,
 )
@@ -43,4 +51,8 @@ __all__ = [
     "record_tracer",
     "record_perf",
     "record_fault_report",
+    "record_serve_request",
+    "record_rebalance",
+    "serve_metrics_json",
+    "SERVE_METRICS_VERSION",
 ]

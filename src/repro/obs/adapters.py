@@ -94,6 +94,53 @@ def record_fault_report(recorder: Recorder, report: Optional[dict[str, Any]]) ->
             recorder.instant(line, category="fault.injected")
 
 
+def record_serve_request(
+    recorder: Recorder,
+    verb: str,
+    latency_ms: Optional[float] = None,
+    rejected: bool = False,
+    records: int = 0,
+) -> None:
+    """Count one daemon request in the ``serve.*`` vocabulary.
+
+    Every request increments ``serve.requests.<verb>``; admission-control
+    rejections additionally count under ``serve.rejected``; ``append``
+    requests feed the ``serve.append_latency_ms`` histogram and the
+    ``serve.appended_records`` counter (the ``papar.serve`` document's
+    inputs — see :func:`repro.obs.export.serve_metrics_json`).
+    """
+    recorder.count(f"serve.requests.{verb}")
+    if rejected:
+        recorder.count("serve.rejected")
+        return
+    if records:
+        recorder.count("serve.appended_records", records)
+    if latency_ms is not None:
+        recorder.observe("serve.append_latency_ms", latency_ms)
+
+
+def record_rebalance(
+    recorder: Recorder,
+    generation: int,
+    reason: str,
+    wall_s: float,
+    records: int,
+) -> None:
+    """Record one online repartition: counter, histogram, and an instant.
+
+    The instant makes every swap visible on the exported timeline with its
+    trigger (``skew`` or ``drift``), the generation it published, and how
+    many records the rebuild covered.
+    """
+    recorder.count("serve.rebalances")
+    recorder.observe("serve.rebalance_wall_s", wall_s)
+    recorder.instant(
+        f"rebalance -> gen{generation} ({reason}, {records} records)",
+        category="serve",
+        attrs={"generation": generation, "reason": reason, "records": records},
+    )
+
+
 def record_optimizer(recorder: Recorder, summary: Optional[dict[str, Any]]) -> None:
     """Fold a ``PartitionResult.extra['optimizer']`` section into counters.
 

@@ -157,6 +157,7 @@ def metrics_json(
             "mean": sum(ordered) / len(ordered),
             "p50": _percentile(ordered, 0.50),
             "p95": _percentile(ordered, 0.95),
+            "p99": _percentile(ordered, 0.99),
         }
     per_rank_busy: dict[str, float] = {}
     for rank in recorder.ranks():
@@ -180,6 +181,50 @@ def metrics_json(
             "per_rank_busy_virtual_s": per_rank_busy,
         },
         "run": dict(run or {}),
+    }
+
+
+#: bump on breaking changes to the serve metrics document layout
+SERVE_METRICS_VERSION = 1
+
+#: the histogram stat keys every serve latency block carries
+_EMPTY_HIST = {"count": 0, "min": 0.0, "max": 0.0, "mean": 0.0,
+               "p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+
+def serve_metrics_json(
+    recorder: Recorder, server: Optional[dict[str, Any]] = None
+) -> dict[str, Any]:
+    """The versioned ``papar.serve`` metrics document for a daemon recorder.
+
+    A serving-shaped view over the generic :func:`metrics_json` stream:
+    per-verb request counts, admission-control rejections, queue depth,
+    rebalance events, and the append-latency distribution (p50/p95/p99).
+    ``server`` attaches live daemon facts (generation, partition counts,
+    pending queue) under the ``"server"`` key.  The layout is pinned by
+    ``tests/obs/test_metrics_contract.py``.
+    """
+    base = metrics_json(recorder)
+    counters = base["counters"]
+    requests = {
+        name[len("serve.requests."):]: slot["total"]
+        for name, slot in counters.items()
+        if name.startswith("serve.requests.")
+    }
+    latency = base["histograms"].get("serve.append_latency_ms", dict(_EMPTY_HIST))
+    return {
+        "schema": "papar.serve",
+        "version": SERVE_METRICS_VERSION,
+        "requests": requests,
+        "rejected": counters.get("serve.rejected", {}).get("total", 0),
+        "appended_records": counters.get("serve.appended_records", {}).get("total", 0),
+        "coalesced_batches": counters.get("serve.coalesced_batches", {}).get("total", 0),
+        "rebalances": counters.get("serve.rebalances", {}).get("total", 0),
+        "snapshots": counters.get("serve.snapshots", {}).get("total", 0),
+        "queue_depth": base["gauges"].get("serve.queue_depth", {}).get("total", 0),
+        "append_latency_ms": latency,
+        "server": dict(server or {}),
+        "metrics": base,
     }
 
 

@@ -127,6 +127,16 @@ class Recorder:
     def _wall_now(self) -> float:
         return time.perf_counter() - self._wall_epoch
 
+    def wall_now(self) -> float:
+        """Seconds since this recorder's wall epoch.
+
+        The timestamp basis of every recorded span's wall times — callers
+        that measure intervals themselves (the serve daemon's per-request
+        spans cross ``await`` boundaries, so a context manager would nest
+        wrongly) stamp :meth:`record_span` with values from here.
+        """
+        return self._wall_now()
+
     @contextmanager
     def span(
         self,

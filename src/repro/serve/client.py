@@ -1,0 +1,110 @@
+"""A small blocking client for the streaming partition daemon.
+
+Speaks the line-JSON protocol of :mod:`repro.serve.protocol` over a plain
+TCP socket; one request at a time per connection (the server enforces the
+same).  Used by the CLI smoke path, the benchmarks, and tests — and small
+enough to crib for an application client in any language: connect, write
+one JSON line, read one JSON line back.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Optional, Sequence
+
+from repro.serve import protocol
+from repro.serve.state import ServeError
+
+
+class ServeClient:
+    """One connection to a :class:`~repro.serve.server.PartitionServer`."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._file: Any = None
+
+    # -- connection management ----------------------------------------------
+
+    def connect(self) -> "ServeClient":
+        """Open the TCP connection (idempotent); returns self for chaining."""
+        if self._sock is None:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+            self._file = self._sock.makefile("rwb")
+        return self
+
+    def close(self) -> None:
+        """Close the connection; safe to call repeatedly."""
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServeClient":
+        return self.connect()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # -- protocol ------------------------------------------------------------
+
+    def request(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Send one request object; return the decoded response object."""
+        self.connect()
+        line = json.dumps(payload, separators=(",", ":")) + "\n"
+        self._file.write(line.encode("utf-8"))
+        self._file.flush()
+        raw = self._file.readline()
+        if not raw:
+            raise ServeError("server closed the connection mid-request")
+        return json.loads(raw.decode("utf-8"))
+
+    def append(self, rows: Sequence[Sequence[Any]]) -> dict[str, Any]:
+        """Route a batch of record rows; returns the server's response."""
+        return self.request({"op": "append", "rows": [list(r) for r in rows]})
+
+    def query(self, key: Any = None) -> dict[str, Any]:
+        """Partition stats and routing info (optionally for one ``key``)."""
+        payload: dict[str, Any] = {"op": "query"}
+        if key is not None:
+            payload["key"] = key
+        return self.request(payload)
+
+    def snapshot(self) -> dict[str, Any]:
+        """Ask the daemon to publish a versioned on-disk snapshot."""
+        return self.request({"op": "snapshot"})
+
+    def drain(self) -> dict[str, Any]:
+        """Gracefully shut the daemon down; returns the drain response."""
+        return self.request({"op": "drain"})
+
+    def append_ok(self, rows: Sequence[Sequence[Any]]) -> dict[str, Any]:
+        """:meth:`append`, raising :class:`ServeError` on any rejection."""
+        response = self.append(rows)
+        if not response.get("ok"):
+            raise ServeError(
+                f"append rejected ({response.get('code')}): {response.get('error')}"
+            )
+        return response
+
+
+#: re-exported so client users can branch on rejection codes without
+#: importing the protocol module separately
+OVERLOADED = protocol.OVERLOADED
+DRAINING = protocol.DRAINING
+BAD_REQUEST = protocol.BAD_REQUEST
+
+__all__ = ["BAD_REQUEST", "DRAINING", "OVERLOADED", "ServeClient"]

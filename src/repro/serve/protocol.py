@@ -1,0 +1,93 @@
+"""The line-JSON wire protocol of the streaming partition service.
+
+One request per line, one response per line, UTF-8 JSON objects.  Four
+verbs (see ``docs/streaming-service.md`` for the full reference):
+
+* ``append``   — ``{"op": "append", "rows": [[...], ...]}``: route an
+  incremental record batch into the hot partitions;
+* ``query``    — ``{"op": "query"}`` (optionally ``"key": k``): partition
+  statistics, generation, and the partition a key would route to;
+* ``snapshot`` — ``{"op": "snapshot"}``: atomically publish the current
+  partitions to the versioned on-disk snapshot store;
+* ``drain``    — ``{"op": "drain"}``: stop admitting appends, finish the
+  queue, flush a final snapshot, and shut the daemon down.
+
+Responses always carry ``"ok"``; failures add an HTTP-flavored ``"code"``
+(400 malformed, 429 over admission capacity, 503 draining) and an
+``"error"`` message.  The codes are part of the contract: clients key
+retry behavior off 429 (back off and retry) versus 400/503 (don't).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional
+
+#: request verbs the server understands
+VERBS = ("append", "query", "snapshot", "drain")
+
+#: longest accepted request line in bytes (socket-reader backpressure bound)
+MAX_LINE = 8 * 1024 * 1024
+
+#: rejection codes (HTTP-flavored so clients can reuse retry conventions)
+BAD_REQUEST = 400
+OVERLOADED = 429
+DRAINING = 503
+
+
+class ProtocolError(ValueError):
+    """A malformed request line (not JSON, not an object, unknown verb)."""
+
+
+def decode_request(line: bytes) -> dict[str, Any]:
+    """Parse one request line into its verb dict, validating the envelope."""
+    try:
+        obj = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"request is not valid JSON: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError(f"request must be a JSON object, got {type(obj).__name__}")
+    op = obj.get("op")
+    if op not in VERBS:
+        raise ProtocolError(
+            f"unknown op {op!r}; expected one of {', '.join(VERBS)}"
+        )
+    if op == "append":
+        rows = obj.get("rows")
+        if not isinstance(rows, list) or not rows:
+            raise ProtocolError("append needs a non-empty 'rows' list")
+    return obj
+
+
+def encode_response(payload: dict[str, Any]) -> bytes:
+    """Serialize one response dict to its wire line (newline-terminated)."""
+    return (json.dumps(payload, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def ok(op: str, **fields: Any) -> dict[str, Any]:
+    """A success response envelope for ``op``."""
+    out: dict[str, Any] = {"ok": True, "op": op}
+    out.update(fields)
+    return out
+
+
+def error(code: int, message: str, op: Optional[str] = None) -> dict[str, Any]:
+    """A failure response envelope carrying ``code`` and ``message``."""
+    out: dict[str, Any] = {"ok": False, "code": code, "error": message}
+    if op is not None:
+        out["op"] = op
+    return out
+
+
+__all__ = [
+    "BAD_REQUEST",
+    "DRAINING",
+    "MAX_LINE",
+    "OVERLOADED",
+    "ProtocolError",
+    "VERBS",
+    "decode_request",
+    "encode_response",
+    "error",
+    "ok",
+]

@@ -1,0 +1,204 @@
+"""Incremental routing of appended batches into the hot partitions.
+
+A cold batch run decides each record's partition from *global* information
+(its position in the fully sorted order, the sampled range boundaries, the
+total record count).  A streamed append cannot know those, so the daemon
+routes incrementally with the best vectorized approximation the workflow's
+shape allows, and relies on the drift-triggered rebalance to reconcile the
+hot partitions with the exact cold-batch answer:
+
+* final ``distribute`` fed by a ``group`` chain — hash-route on the group
+  key (:class:`~repro.mapreduce.partitioner.HashPartitioner`), preserving
+  key co-location;
+* fed by a ``sort`` chain — range-route on the sort key with quantile
+  boundaries sampled from the accumulated log
+  (:class:`~repro.mapreduce.partitioner.RangePartitioner`), preserving key
+  locality;
+* no key-bearing stage — positional dealing via
+  :func:`~repro.core.runtime.policy_partition_ids` on a running global
+  arrival index, which for ``cyclic``/``graphVertexCut`` *is* the exact
+  cold answer when arrival order equals file order.
+
+All three run each batch through ``Partitioner.partition_array`` /
+``policy_partition_ids`` — one vectorized pass, no per-record Python loop —
+and the server buckets the owners with
+:func:`repro.mapreduce.columnar.bucketize`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.core.planner import WorkflowPlan
+from repro.formats.records import RecordSchema
+from repro.mapreduce.partitioner import HashPartitioner, Partitioner, RangePartitioner
+from repro.mapreduce.sampling import quantile_boundaries, reservoir_sample
+from repro.core.runtime import policy_partition_ids
+from repro.ops.distribute import Distribute
+from repro.ops.group import Group
+from repro.ops.sort import Sort
+from repro.serve.state import ServeError
+
+#: how many log keys the range router samples for its quantile boundaries
+ROUTER_SAMPLE_SIZE = 4096
+
+
+class IncrementalRouter:
+    """Maps an appended record batch to per-record partition owners."""
+
+    #: routing strategy label (``hash`` / ``range`` / ``positional``)
+    kind: str = "base"
+
+    def __init__(self, num_partitions: int, key_field: Optional[str] = None) -> None:
+        self.num_partitions = num_partitions
+        self.key_field = key_field
+
+    def route(self, records: np.ndarray) -> np.ndarray:
+        """Partition owner per record (vectorized; one int64 per record)."""
+        raise NotImplementedError
+
+    def partition_for_key(self, key: Any) -> Optional[int]:
+        """The partition a single key routes to (``None`` for positional)."""
+        return None
+
+    def describe(self) -> dict[str, Any]:
+        """A JSON-safe summary for the ``query`` verb."""
+        out: dict[str, Any] = {"kind": self.kind, "partitions": self.num_partitions}
+        if self.key_field is not None:
+            out["key"] = self.key_field
+        return out
+
+
+class KeyedRouter(IncrementalRouter):
+    """Route on a key column through a vectorized :class:`Partitioner`."""
+
+    def __init__(
+        self, partitioner: Partitioner, key_field: str, kind: str
+    ) -> None:
+        super().__init__(partitioner.num_reducers, key_field)
+        self.partitioner = partitioner
+        self.kind = kind
+
+    def route(self, records: np.ndarray) -> np.ndarray:
+        """Vectorized owners from the key column (one partitioner pass)."""
+        if self.key_field not in (records.dtype.names or ()):
+            raise ServeError(
+                f"appended batch lacks routing key field {self.key_field!r}"
+            )
+        return np.asarray(
+            self.partitioner.partition_array(records[self.key_field]), dtype=np.int64
+        )
+
+    def partition_for_key(self, key: Any) -> Optional[int]:
+        """The partition one key value routes to."""
+        return int(self.partitioner(key))
+
+
+class PositionalRouter(IncrementalRouter):
+    """Deal records by global arrival index under the distribute policy.
+
+    For ``cyclic`` / ``graphVertexCut`` dealing this matches the cold batch
+    run exactly (partition = global index mod P); for ``block`` it is an
+    approximation that the next rebalance corrects, because block boundaries
+    move as the total grows.
+    """
+
+    kind = "positional"
+
+    def __init__(self, op: Distribute, start_index: int) -> None:
+        super().__init__(op.num_partitions)
+        self.op = op
+        #: global arrival index of the next record to route
+        self.next_index = start_index
+
+    def route(self, records: np.ndarray) -> np.ndarray:
+        """Owners by global arrival index, advancing the running counter."""
+        n = len(records)
+        global_idx = np.arange(n, dtype=np.int64) + self.next_index
+        self.next_index += n
+        return policy_partition_ids(
+            self.op, global_idx, total=self.next_index, backend="serve"
+        )
+
+    def describe(self) -> dict[str, Any]:
+        """Base summary plus the policy name and the running index."""
+        out = super().describe()
+        out["policy"] = self.op.policy.name
+        out["next_index"] = self.next_index
+        return out
+
+
+def _routing_stage(plan: WorkflowPlan) -> Optional[Any]:
+    """The last key-bearing (sort/group) operator feeding the final distribute."""
+    stage = None
+    for job in plan.jobs:
+        if isinstance(job.operator, (Sort, Group)):
+            stage = job.operator
+    return stage
+
+
+def build_router(
+    plan: WorkflowPlan,
+    input_schema: RecordSchema,
+    log_batches: list[np.ndarray],
+    total_records: int,
+) -> IncrementalRouter:
+    """Choose and build the router for ``plan`` from the accumulated log.
+
+    ``log_batches`` feeds the range router's boundary sample;
+    ``total_records`` seeds the positional router's global index so dealing
+    continues where the last rebuild left off.
+    """
+    final = plan.final_job.operator
+    if not isinstance(final, Distribute):
+        raise ServeError(
+            f"serve needs a workflow ending in a distribute job, got "
+            f"{plan.final_job.operator_name!r}"
+        )
+    stage = _routing_stage(plan)
+    if stage is not None and input_schema.has_field(stage.key):
+        if isinstance(stage, Group):
+            return KeyedRouter(
+                HashPartitioner(final.num_partitions), stage.key, kind="hash"
+            )
+        boundaries = _sampled_boundaries(
+            stage, log_batches, final.num_partitions
+        )
+        if boundaries is not None:
+            return KeyedRouter(
+                RangePartitioner(boundaries, final.num_partitions),
+                stage.key,
+                kind="range",
+            )
+    return PositionalRouter(final, start_index=total_records)
+
+
+def _sampled_boundaries(
+    op: Sort, log_batches: list[np.ndarray], num_partitions: int
+) -> Optional[list[Any]]:
+    """Quantile split points of the sort key over the log, or None when empty."""
+    if num_partitions == 1:
+        return []
+    rng = np.random.default_rng(0)
+    samples: list[Any] = []
+    for batch in log_batches:
+        if len(batch) and op.key in (batch.dtype.names or ()):
+            keys = np.asarray(batch[op.key])
+            samples.extend(reservoir_sample(keys if op.ascending else -keys,
+                                            ROUTER_SAMPLE_SIZE, rng))
+    if not samples:
+        return None
+    return quantile_boundaries(
+        reservoir_sample(samples, ROUTER_SAMPLE_SIZE, rng), num_partitions
+    )
+
+
+__all__ = [
+    "IncrementalRouter",
+    "KeyedRouter",
+    "PositionalRouter",
+    "ROUTER_SAMPLE_SIZE",
+    "build_router",
+]

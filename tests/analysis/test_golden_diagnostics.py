@@ -836,6 +836,72 @@ class TestBackendFit:
         assert not [d for d in result.diagnostics if d.code.startswith("PAP07")]
 
 
+DEAL_ONLY = """<workflow id="t">
+  <arguments>
+    <param name="input_path" type="hdfs" format="blast_db"/>
+  </arguments>
+  <operators>
+    <operator id="dist" operator="Distribute">
+      <param name="inputPath" value="$input_path"/>
+      <param name="outputPath" value="/tmp/out"/>
+      <param name="distrPolicy" value="cyclic"/>
+      <param name="numPartitions" value="4"/>
+    </operator>
+  </operators>
+</workflow>"""
+
+SORT_THEN_DEAL = DEAL_ONLY.replace(
+    "<operator id=\"dist\"",
+    """<operator id="sort" operator="Sort">
+      <param name="inputPath" value="$input_path"/>
+      <param name="outputPath" value="/tmp/sorted"/>
+      <param name="key" value="seq_size"/>
+    </operator>
+    <operator id="dist\"""",
+).replace('value="$input_path"/>\n      <param name="outputPath" value="/tmp/out"',
+          'value="$sort.outputPath"/>\n      <param name="outputPath" value="/tmp/out"')
+
+
+class TestServeFit:
+    """PAP090: declared serve destination versus order-sensitive routing."""
+
+    INPUTS = [(BLAST_DB, "blast_db.xml")]
+
+    def test_pap090_dealing_with_no_keyed_stage(self):
+        result = run_lint(DEAL_ONLY, inputs=self.INPUTS, serve=True)
+        diag = expect(result, "PAP090", line=6)  # points at the distribute
+        assert "'cyclic'" in diag.message
+        assert "arrival order" in diag.message
+        assert "Sort or Group" in diag.suggestion
+        # a warning: blocks only under --strict
+        assert result.exit_code() == 0
+        assert result.exit_code(strict=True) == 1
+
+    def test_pap090_silent_with_a_sort_upstream(self):
+        result = run_lint(SORT_THEN_DEAL, inputs=self.INPUTS, serve=True)
+        assert not [d for d in result.diagnostics if d.code == "PAP090"]
+
+    def test_pap090_silent_without_the_serve_declaration(self):
+        result = run_lint(DEAL_ONLY, inputs=self.INPUTS)
+        assert not [d for d in result.diagnostics if d.code.startswith("PAP09")]
+
+    def test_pap090_silent_on_a_non_distribute_tail(self):
+        sort_only = """<workflow id="t">
+  <arguments>
+    <param name="input_path" type="hdfs" format="blast_db"/>
+  </arguments>
+  <operators>
+    <operator id="sort" operator="Sort">
+      <param name="inputPath" value="$input_path"/>
+      <param name="outputPath" value="/tmp/sorted"/>
+      <param name="key" value="seq_size"/>
+    </operator>
+  </operators>
+</workflow>"""
+        result = run_lint(sort_only, inputs=self.INPUTS, serve=True)
+        assert not [d for d in result.diagnostics if d.code == "PAP090"]
+
+
 class TestCatalogIntegrity:
     def test_every_code_is_catalogued(self):
         assert len(CATALOG) >= 30

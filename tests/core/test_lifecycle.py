@@ -1,0 +1,93 @@
+"""The graceful-shutdown helper shared by the process backend and the
+streaming daemon: first signal is polite (cleanup runs), handlers are
+restored, off-main-thread use is a no-op, and the async variant fires its
+drain callback exactly once."""
+
+import asyncio
+import signal
+import threading
+
+import pytest
+
+from repro.lifecycle import (
+    ShutdownRequested,
+    graceful_teardown,
+    install_async_shutdown,
+)
+
+
+class TestGracefulTeardown:
+    def test_first_signal_raises_so_finally_blocks_run(self):
+        cleaned = []
+        with pytest.raises(ShutdownRequested) as excinfo:
+            with graceful_teardown() as requested:
+                try:
+                    assert requested() is False
+                    signal.raise_signal(signal.SIGTERM)
+                    pytest.fail("signal should have raised")  # pragma: no cover
+                finally:
+                    cleaned.append(requested())
+        assert cleaned == [True]
+        assert excinfo.value.signum == signal.SIGTERM
+        assert "SIGTERM" in str(excinfo.value)
+
+    def test_handlers_are_restored_on_exit(self):
+        before = signal.getsignal(signal.SIGTERM)
+        with graceful_teardown():
+            assert signal.getsignal(signal.SIGTERM) is not before
+        assert signal.getsignal(signal.SIGTERM) is before
+
+    def test_handlers_are_restored_after_a_signal(self):
+        before = signal.getsignal(signal.SIGINT)
+        with pytest.raises(ShutdownRequested):
+            with graceful_teardown():
+                signal.raise_signal(signal.SIGINT)
+        assert signal.getsignal(signal.SIGINT) is before
+
+    def test_off_main_thread_is_a_noop(self):
+        seen = {}
+
+        def worker():
+            with graceful_teardown() as requested:
+                seen["requested"] = requested()
+                seen["handler"] = signal.getsignal(signal.SIGTERM)
+
+        before = signal.getsignal(signal.SIGTERM)
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        assert seen["requested"] is False
+        assert seen["handler"] is before  # nothing was installed
+
+    def test_shutdown_requested_escapes_broad_except(self):
+        # like KeyboardInterrupt: `except Exception` must not swallow it
+        assert not issubclass(ShutdownRequested, Exception)
+        assert issubclass(ShutdownRequested, BaseException)
+
+
+class TestInstallAsyncShutdown:
+    def test_callback_fires_exactly_once(self):
+        fired = []
+
+        async def go():
+            loop = asyncio.get_running_loop()
+            remove = install_async_shutdown(loop, fired.append)
+            signal.raise_signal(signal.SIGTERM)
+            await asyncio.sleep(0.05)
+            signal.raise_signal(signal.SIGTERM)  # drain already under way
+            await asyncio.sleep(0.05)
+            remove()
+            remove()  # idempotent
+
+        asyncio.run(go())
+        assert fired == [signal.SIGTERM]
+
+    def test_remover_uninstalls_the_loop_handlers(self):
+        async def go():
+            loop = asyncio.get_running_loop()
+            remove = install_async_shutdown(loop, lambda s: None)
+            remove()
+            # a fresh install must succeed after removal
+            install_async_shutdown(loop, lambda s: None)()
+
+        asyncio.run(go())

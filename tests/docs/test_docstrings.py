@@ -22,7 +22,8 @@ REPO_ROOT = Path(__file__).resolve().parent.parent.parent
 SRC = REPO_ROOT / "src"
 
 # Packages whose public defs were audited for one-line docstrings.
-DEF_AUDITED = ("repro/obs", "repro/fault", "repro/analysis", "repro/ooc")
+DEF_AUDITED = ("repro/obs", "repro/fault", "repro/analysis", "repro/ooc",
+               "repro/serve")
 
 
 def _iter_src_files():

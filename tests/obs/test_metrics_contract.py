@@ -8,7 +8,16 @@ import json
 
 import pytest
 
-from repro.obs import METRICS_VERSION, Recorder, metrics_json, write_metrics
+from repro.obs import (
+    METRICS_VERSION,
+    SERVE_METRICS_VERSION,
+    Recorder,
+    metrics_json,
+    record_rebalance,
+    record_serve_request,
+    serve_metrics_json,
+    write_metrics,
+)
 
 
 def seeded_recorder():
@@ -53,6 +62,7 @@ class TestMetricsContract:
         assert h["mean"] == pytest.approx(2.5)
         assert h["p50"] == 3.0  # nearest-rank of 4 sorted samples
         assert h["p95"] == 4.0
+        assert h["p99"] == 4.0
 
     def test_span_rollups(self):
         doc = metrics_json(seeded_recorder())
@@ -76,3 +86,65 @@ class TestMetricsContract:
         path = tmp_path / "metrics.json"
         returned = write_metrics(str(path), seeded_recorder(), run={"ranks": 2})
         assert json.loads(path.read_text()) == returned
+
+
+def serve_seeded_recorder():
+    rec = Recorder()
+    record_serve_request(rec, "query")
+    record_serve_request(rec, "append", latency_ms=2.0, records=10)
+    record_serve_request(rec, "append", latency_ms=6.0, records=30)
+    record_serve_request(rec, "append", rejected=True)
+    record_rebalance(rec, generation=1, reason="drift", wall_s=0.5, records=40)
+    rec.count("serve.snapshots")
+    rec.count("serve.coalesced_batches", 3)
+    rec.gauge("serve.queue_depth", 2)
+    return rec
+
+
+class TestServeMetricsContract:
+    """The "papar.serve" document (version 1): serving-shaped rollups over
+    the generic metrics stream.  Layout changes require a version bump."""
+
+    def test_envelope(self):
+        doc = serve_metrics_json(serve_seeded_recorder())
+        assert doc["schema"] == "papar.serve"
+        assert doc["version"] == SERVE_METRICS_VERSION == 1
+        assert set(doc) == {
+            "schema", "version", "requests", "rejected", "appended_records",
+            "coalesced_batches", "rebalances", "snapshots", "queue_depth",
+            "append_latency_ms", "server", "metrics",
+        }
+
+    def test_per_verb_request_counts(self):
+        doc = serve_metrics_json(serve_seeded_recorder())
+        assert doc["requests"] == {"query": 1, "append": 3}
+        assert doc["rejected"] == 1
+        assert doc["appended_records"] == 40
+        assert doc["coalesced_batches"] == 3
+        assert doc["rebalances"] == 1
+        assert doc["snapshots"] == 1
+        assert doc["queue_depth"] == 2
+
+    def test_append_latency_distribution(self):
+        h = serve_metrics_json(serve_seeded_recorder())["append_latency_ms"]
+        assert h["count"] == 2
+        assert (h["min"], h["max"]) == (2.0, 6.0)
+        assert set(h) == {"count", "min", "max", "mean", "p50", "p95", "p99"}
+
+    def test_empty_recorder_still_has_the_full_shape(self):
+        doc = serve_metrics_json(Recorder())
+        assert doc["requests"] == {}
+        assert doc["append_latency_ms"]["count"] == 0
+        assert set(doc["append_latency_ms"]) == {
+            "count", "min", "max", "mean", "p50", "p95", "p99",
+        }
+
+    def test_server_block_passes_through(self):
+        doc = serve_metrics_json(serve_seeded_recorder(),
+                                 server={"generation": 4})
+        assert doc["server"] == {"generation": 4}
+
+    def test_base_document_is_embedded(self):
+        doc = serve_metrics_json(serve_seeded_recorder())
+        assert doc["metrics"]["schema"] == "papar.metrics"
+        assert "serve.rebalance_wall_s" in doc["metrics"]["histograms"]

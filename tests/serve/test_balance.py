@@ -1,0 +1,61 @@
+"""The skew/drift rebalance trigger."""
+
+import numpy as np
+import pytest
+
+from repro.formats import BLAST_INDEX_SCHEMA
+from repro.serve import BalanceMonitor, PartitionGeneration, ServeState
+
+
+def records(n):
+    return BLAST_INDEX_SCHEMA.to_structured([(i, 40, i, 40) for i in range(n)])
+
+
+def state_with_counts(*counts, rebuilt=None, log=None):
+    total = sum(counts)
+    state = ServeState()
+    state.append_log(records(log if log is not None else total))
+    state.current = PartitionGeneration.from_partitions(
+        0, [records(c) for c in counts],
+        rebuilt if rebuilt is not None else state.log_records,
+    )
+    return state
+
+
+class TestSkew:
+    def test_balanced_counts_have_zero_skew(self):
+        assert BalanceMonitor.skew(np.array([5, 5, 5, 5])) == 0.0
+
+    def test_spread_over_mean(self):
+        # counts 2..8, mean 5: (8 - 2) / 5
+        assert BalanceMonitor.skew(np.array([2, 8])) == pytest.approx(1.2)
+
+    def test_empty_and_zero_counts(self):
+        assert BalanceMonitor.skew(np.array([], dtype=np.int64)) == 0.0
+        assert BalanceMonitor.skew(np.array([0, 0])) == 0.0
+
+
+class TestDecision:
+    def test_balanced_and_rebuilt_is_not_due(self):
+        decision = BalanceMonitor(0.5).check(state_with_counts(5, 5))
+        assert not decision.due
+        assert decision.reason is None
+
+    def test_skew_crossing_triggers(self):
+        decision = BalanceMonitor(0.5).check(state_with_counts(1, 9))
+        assert decision.due and decision.reason == "skew"
+
+    def test_drift_crossing_triggers(self):
+        # level counts (cyclic dealing) but 60% of the log never rebuilt
+        decision = BalanceMonitor(0.5).check(
+            state_with_counts(5, 5, rebuilt=4, log=10)
+        )
+        assert decision.due and decision.reason == "drift"
+        assert decision.drift == pytest.approx(0.6)
+
+    def test_no_generation_yet_is_never_due(self):
+        assert not BalanceMonitor(0.5).check(ServeState()).due
+
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ValueError, match="> 0"):
+            BalanceMonitor(0.0)

@@ -1,0 +1,51 @@
+"""The line-JSON wire protocol: envelope validation and response shapes."""
+
+import json
+
+import pytest
+
+from repro.serve import protocol
+
+
+class TestDecode:
+    def test_valid_verbs_decode(self):
+        for op in ("query", "snapshot", "drain"):
+            assert protocol.decode_request(
+                json.dumps({"op": op}).encode()
+            )["op"] == op
+
+    def test_append_needs_rows(self):
+        ok = protocol.decode_request(b'{"op": "append", "rows": [[1, 2]]}')
+        assert ok["rows"] == [[1, 2]]
+        for bad in (b'{"op": "append"}', b'{"op": "append", "rows": []}',
+                    b'{"op": "append", "rows": "x"}'):
+            with pytest.raises(protocol.ProtocolError, match="rows"):
+                protocol.decode_request(bad)
+
+    def test_not_json(self):
+        with pytest.raises(protocol.ProtocolError, match="not valid JSON"):
+            protocol.decode_request(b"hello\n")
+
+    def test_not_an_object(self):
+        with pytest.raises(protocol.ProtocolError, match="JSON object"):
+            protocol.decode_request(b"[1, 2]")
+
+    def test_unknown_op(self):
+        with pytest.raises(protocol.ProtocolError, match="unknown op"):
+            protocol.decode_request(b'{"op": "restart"}')
+
+
+class TestEncode:
+    def test_response_is_one_newline_terminated_line(self):
+        line = protocol.encode_response(protocol.ok("query", generation=3))
+        assert line.endswith(b"\n")
+        assert line.count(b"\n") == 1
+        assert json.loads(line) == {"ok": True, "op": "query", "generation": 3}
+
+    def test_error_envelope_carries_code(self):
+        err = protocol.error(protocol.OVERLOADED, "full", op="append")
+        assert err == {"ok": False, "code": 429, "error": "full", "op": "append"}
+
+    def test_rejection_codes_are_distinct(self):
+        assert len({protocol.BAD_REQUEST, protocol.OVERLOADED,
+                    protocol.DRAINING}) == 3

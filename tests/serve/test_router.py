@@ -1,0 +1,129 @@
+"""Router selection per workflow shape, and the vectorized routing itself."""
+
+import numpy as np
+import pytest
+
+from repro.config.examples import BLAST_WORKFLOW_XML, HYBRID_CUT_WORKFLOW_XML
+from repro.serve import ServeError, build_router
+from repro.serve.router import KeyedRouter, PositionalRouter
+
+BLAST_ARGS = {"input_path": "/in", "output_path": "/out", "num_partitions": 4}
+EDGE_ARGS = {"input_file": "/in", "output_path": "/out",
+             "num_partitions": 4, "threshold": 30}
+
+DEAL_ONLY_XML = """\
+<workflow id="deal" name="deal">
+  <arguments>
+    <param name="input_path" type="String" format="blast_db"/>
+    <param name="output_path" type="String"/>
+    <param name="num_partitions" type="Integer"/>
+  </arguments>
+  <operators>
+    <operator id="dist" operator="Distribute">
+      <param name="inputPath" value="$input_path"/>
+      <param name="outputPath" value="$output_path"/>
+      <param name="distrPolicy" value="cyclic"/>
+      <param name="numPartitions" value="$num_partitions"/>
+    </operator>
+  </operators>
+</workflow>
+"""
+
+SORT_ONLY_XML = """\
+<workflow id="sortonly" name="sortonly">
+  <arguments>
+    <param name="input_path" type="String" format="blast_db"/>
+    <param name="output_path" type="String"/>
+  </arguments>
+  <operators>
+    <operator id="sort" operator="Sort">
+      <param name="inputPath" value="$input_path"/>
+      <param name="outputPath" value="/tmp/sorted"/>
+      <param name="key" value="seq_size"/>
+    </operator>
+  </operators>
+</workflow>
+"""
+
+
+def blast_log(papar, n=64):
+    from repro.blast import generate_index
+
+    return [np.asarray(generate_index("env_nr", num_sequences=n, seed=5))]
+
+
+class TestRouterSelection:
+    def test_sort_fed_distribute_gets_a_range_router(self, papar):
+        plan = papar.plan(BLAST_WORKFLOW_XML, BLAST_ARGS)
+        router = build_router(
+            plan, papar.schema("blast_db"), blast_log(papar), 64
+        )
+        assert isinstance(router, KeyedRouter)
+        assert router.describe() == {"kind": "range", "partitions": 4,
+                                     "key": "seq_size"}
+
+    def test_group_fed_distribute_gets_a_hash_router(self, papar):
+        plan = papar.plan(HYBRID_CUT_WORKFLOW_XML, EDGE_ARGS)
+        router = build_router(plan, papar.schema("graph_edge"), [], 0)
+        assert router.kind == "hash"
+        assert router.key_field is not None
+
+    def test_bare_distribute_gets_a_positional_router(self, papar):
+        plan = papar.plan(DEAL_ONLY_XML, BLAST_ARGS)
+        router = build_router(plan, papar.schema("blast_db"), [], 10)
+        assert isinstance(router, PositionalRouter)
+        assert router.next_index == 10
+
+    def test_sort_with_empty_log_falls_back_to_positional(self, papar):
+        plan = papar.plan(BLAST_WORKFLOW_XML, BLAST_ARGS)
+        router = build_router(plan, papar.schema("blast_db"), [], 0)
+        assert isinstance(router, PositionalRouter)
+
+    def test_non_distribute_tail_is_refused(self, papar):
+        plan = papar.plan(SORT_ONLY_XML,
+                          {"input_path": "/in", "output_path": "/out"})
+        with pytest.raises(ServeError, match="ending in a distribute"):
+            build_router(plan, papar.schema("blast_db"), [], 0)
+
+
+class TestRouting:
+    def test_range_router_routes_by_key_order(self, papar):
+        plan = papar.plan(BLAST_WORKFLOW_XML, BLAST_ARGS)
+        log = blast_log(papar, n=256)
+        router = build_router(plan, papar.schema("blast_db"), log, 256)
+        owners = router.route(log[0])
+        assert owners.shape == (256,)
+        assert set(np.unique(owners)) <= set(range(4))
+        # larger keys never land in a lower-ranked partition
+        order = np.argsort(log[0]["seq_size"], kind="stable")
+        assert (np.diff(owners[order]) >= 0).all()
+        key = int(log[0]["seq_size"][0])
+        assert router.partition_for_key(key) == owners[0]
+
+    def test_hash_router_is_consistent_per_key(self, papar):
+        plan = papar.plan(HYBRID_CUT_WORKFLOW_XML, EDGE_ARGS)
+        schema = papar.schema("graph_edge")
+        router = build_router(plan, schema, [], 0)
+        batch = schema.to_structured([(5, 1), (6, 1), (5, 1), (7, 2)])
+        owners = router.route(batch)
+        assert owners[0] == owners[2]  # same key, same partition
+        assert router.partition_for_key(1) in range(4)
+
+    def test_positional_router_continues_the_global_index(self, papar):
+        plan = papar.plan(DEAL_ONLY_XML, BLAST_ARGS)
+        schema = papar.schema("blast_db")
+        router = build_router(plan, schema, [], 6)
+        batch = schema.to_structured([(i, 40, i, 40) for i in range(5)])
+        # cyclic dealing: partition = global arrival index mod 4
+        assert list(router.route(batch)) == [2, 3, 0, 1, 2]
+        assert list(router.route(batch[:2])) == [3, 0]
+        assert router.describe()["next_index"] == 13
+
+    def test_missing_key_field_is_a_serve_error(self, papar):
+        plan = papar.plan(BLAST_WORKFLOW_XML, BLAST_ARGS)
+        router = build_router(
+            plan, papar.schema("blast_db"), blast_log(papar), 64
+        )
+        other = np.array([(1, 2)], dtype=[("a", "i8"), ("b", "i8")])
+        with pytest.raises(ServeError, match="routing key"):
+            router.route(other)

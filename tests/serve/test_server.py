@@ -1,0 +1,258 @@
+"""The daemon end to end: admission control, drain semantics, atomic
+generation swaps, warm restart, the TCP socket path, and the metrics doc."""
+
+import asyncio
+import threading
+
+import numpy as np
+import pytest
+
+from repro.config.examples import BLAST_WORKFLOW_XML
+from repro.serve import ServeClient, ServeConfig, run_server
+from repro.serve.server import PartitionServer
+
+from tests.serve._driver import dispatch, fold_tail, run_scenario, settle
+from tests.serve.conftest import rows_of
+
+
+def blast_args(blast_file, tmp_path, parts=4):
+    path, _ = blast_file
+    return {"input_path": path, "output_path": str(tmp_path / "out"),
+            "num_partitions": parts}
+
+
+class TestVerbs:
+    def test_append_then_query(self, papar, blast_file, blast_index, tmp_path):
+        extra = rows_of(blast_index[100:120])
+
+        async def scenario(server):
+            r = await dispatch(server, {"op": "append", "rows": extra})
+            assert r["ok"] and r["records"] == 20
+            assert r["total_records"] == 120
+            await settle(server)
+            q = await dispatch(server, {"op": "query"})
+            assert q["ok"]
+            assert q["total_records"] == sum(
+                p["records"] for p in q["partitions"]
+            )
+            assert q["log_records"] == 120
+            assert q["router"]["kind"] == "range"
+            return q
+
+        server, q = run_scenario(
+            papar, BLAST_WORKFLOW_XML, blast_args(blast_file, tmp_path),
+            scenario,
+        )
+        assert not server.restored
+
+    def test_query_routes_a_key(self, papar, blast_file, tmp_path):
+        async def scenario(server):
+            q = await dispatch(server, {"op": "query", "key": 45})
+            assert q["key_partition"] in range(4)
+
+        run_scenario(papar, BLAST_WORKFLOW_XML,
+                     blast_args(blast_file, tmp_path), scenario)
+
+    def test_unknown_op_and_bad_rows_are_400(self, papar, blast_file, tmp_path):
+        async def scenario(server):
+            bad_verb = await dispatch(server, {"op": "restart"})
+            assert (bad_verb["ok"], bad_verb["code"]) == (False, 400)
+            bad_rows = await dispatch(
+                server, {"op": "append", "rows": [["x"]]}
+            )
+            assert (bad_rows["ok"], bad_rows["code"]) == (False, 400)
+            assert "schema" in bad_rows["error"]
+
+        run_scenario(papar, BLAST_WORKFLOW_XML,
+                     blast_args(blast_file, tmp_path), scenario)
+
+
+class TestAdmissionControl:
+    def test_full_queue_rejects_429(self, papar, blast_file, blast_index,
+                                    tmp_path):
+        rows = rows_of(blast_index[100:105])
+
+        async def scenario(server):
+            r = await dispatch(server, {"op": "append", "rows": rows})
+            assert (r["ok"], r["code"]) == (False, 429)
+            assert server.metrics_doc()["rejected"] == 1
+
+        run_scenario(papar, BLAST_WORKFLOW_XML,
+                     blast_args(blast_file, tmp_path), scenario,
+                     max_pending=0)
+
+    def test_draining_rejects_503(self, papar, blast_file, blast_index,
+                                  tmp_path):
+        rows = rows_of(blast_index[100:105])
+
+        async def scenario(server):
+            server._draining = True
+            r = await dispatch(server, {"op": "append", "rows": rows})
+            assert (r["ok"], r["code"]) == (False, 503)
+
+        run_scenario(papar, BLAST_WORKFLOW_XML,
+                     blast_args(blast_file, tmp_path), scenario)
+
+
+class TestAtomicSwap:
+    def test_queries_never_observe_a_torn_generation(
+        self, papar, blast_file, blast_index, tmp_path
+    ):
+        """Interleave appends (with a hair-trigger rebalance threshold) and
+        queries: every response must be internally consistent and the
+        generation counter must only move forward."""
+        batches = [rows_of(blast_index[i:i + 10])
+                   for i in range(100, 160, 10)]
+
+        async def scenario(server):
+            seen = []
+            for rows in batches:
+                r = await dispatch(server, {"op": "append", "rows": rows})
+                assert r["ok"]
+                q = await dispatch(server, {"op": "query"})
+                assert q["total_records"] == sum(
+                    p["records"] for p in q["partitions"]
+                )
+                seen.append(q["generation"])
+            await settle(server)
+            return seen
+
+        server, generations = run_scenario(
+            papar, BLAST_WORKFLOW_XML, blast_args(blast_file, tmp_path),
+            scenario, rebalance_threshold=0.01,
+        )
+        assert generations == sorted(generations)
+        assert server.rebalance_events  # the hair trigger actually fired
+        assert server.state.current.generation >= 1
+
+    def test_rebalanced_generation_covers_the_whole_log(
+        self, papar, blast_file, blast_index, tmp_path
+    ):
+        rows = rows_of(blast_index[100:140])
+
+        async def scenario(server):
+            await dispatch(server, {"op": "append", "rows": rows})
+            await fold_tail(server)
+            assert server.state.drift_fraction == 0.0
+            q = await dispatch(server, {"op": "query"})
+            assert q["drift"] == 0.0
+            assert q["total_records"] == q["log_records"] == 140
+
+        run_scenario(papar, BLAST_WORKFLOW_XML,
+                     blast_args(blast_file, tmp_path), scenario,
+                     rebalance_threshold=1e9)
+
+
+class TestSnapshotAndRestart:
+    def test_snapshot_verb_requires_a_store(self, papar, blast_file, tmp_path):
+        async def scenario(server):
+            r = await dispatch(server, {"op": "snapshot"})
+            assert (r["ok"], r["code"]) == (False, 400)
+            assert "--snapshot-dir" in r["error"]
+
+        run_scenario(papar, BLAST_WORKFLOW_XML,
+                     blast_args(blast_file, tmp_path), scenario)
+
+    def test_warm_restart_restores_the_published_state(
+        self, papar, blast_file, blast_index, tmp_path
+    ):
+        args = blast_args(blast_file, tmp_path)
+        snap_dir = str(tmp_path / "snaps")
+        rows = rows_of(blast_index[100:130])
+
+        async def first(server):
+            await dispatch(server, {"op": "append", "rows": rows})
+            await fold_tail(server)
+            r = await dispatch(server, {"op": "snapshot"})
+            assert r["ok"]
+            return (r["snapshot"], server.state.log_records,
+                    [server.state.current.partition_records(p)
+                     for p in range(4)])
+
+        _, (sid, log_records, parts) = run_scenario(
+            papar, BLAST_WORKFLOW_XML, args, first,
+            snapshot_dir=snap_dir, rebalance_threshold=1e9,
+        )
+
+        async def second(server):
+            q = await dispatch(server, {"op": "query"})
+            assert q["snapshot"] == sid
+            return [server.state.current.partition_records(p)
+                    for p in range(4)]
+
+        server, restored = run_scenario(
+            papar, BLAST_WORKFLOW_XML, args, second,
+            snapshot_dir=snap_dir, rebalance_threshold=1e9,
+        )
+        assert server.restored
+        assert server.state.log_records == log_records
+        for ours, theirs in zip(restored, parts):
+            np.testing.assert_array_equal(ours, theirs)
+
+    def test_drain_flushes_a_final_snapshot(self, papar, blast_file, tmp_path):
+        snap_dir = str(tmp_path / "snaps")
+
+        async def scenario(server):
+            assert server.snapshots.current_generation() is None
+            r = await dispatch(server, {"op": "drain"})
+            assert r["ok"] and r["generation"] == 0
+
+        server, _ = run_scenario(
+            papar, BLAST_WORKFLOW_XML, blast_args(blast_file, tmp_path),
+            scenario, snapshot_dir=snap_dir,
+        )
+        assert server.snapshots.current_generation() == 0
+
+
+class TestSocketLifecycle:
+    def test_tcp_roundtrip_with_the_blocking_client(
+        self, papar, blast_file, blast_index, tmp_path
+    ):
+        """The real wire path: server on a thread, ServeClient over TCP."""
+        args = blast_args(blast_file, tmp_path)
+        addr, ready = {}, threading.Event()
+        holder = {}
+
+        def serve():
+            holder["server"] = asyncio.run(run_server(
+                papar, BLAST_WORKFLOW_XML, args,
+                config=ServeConfig(),
+                ready=lambda h, p: (addr.update(hp=(h, p)), ready.set()),
+            ))
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        assert ready.wait(60), "daemon never came up"
+        with ServeClient(*addr["hp"]) as client:
+            r = client.append_ok(rows_of(blast_index[100:110]))
+            assert r["records"] == 10
+            assert client.query()["log_records"] == 110
+            d = client.drain()
+            assert d["ok"]
+        thread.join(60)
+        assert not thread.is_alive()
+        assert holder["server"].state.log_records == 110
+
+
+class TestMetricsDoc:
+    def test_server_block_and_counters(self, papar, blast_file, blast_index,
+                                       tmp_path):
+        rows = rows_of(blast_index[100:110])
+
+        async def scenario(server):
+            await dispatch(server, {"op": "append", "rows": rows})
+            await dispatch(server, {"op": "query"})
+            await settle(server)
+
+        server, _ = run_scenario(
+            papar, BLAST_WORKFLOW_XML, blast_args(blast_file, tmp_path),
+            scenario,
+        )
+        doc = server.metrics_doc()
+        assert doc["schema"] == "papar.serve"
+        assert doc["requests"]["append"] == 1
+        assert doc["requests"]["query"] == 1
+        assert doc["appended_records"] == 10
+        assert doc["append_latency_ms"]["count"] == 1
+        assert doc["server"]["log_records"] == 110
+        assert doc["server"]["max_pending"] == 64

@@ -1,0 +1,81 @@
+"""Generations, the append log, and the atomic-swap discipline."""
+
+import numpy as np
+import pytest
+
+from repro.formats import BLAST_INDEX_SCHEMA
+from repro.serve import PartitionGeneration, ServeError, ServeState
+
+
+def records(n, start=0):
+    return BLAST_INDEX_SCHEMA.to_structured(
+        [(start + i, 40 + i, i, 40) for i in range(n)]
+    )
+
+
+class TestPartitionGeneration:
+    def test_from_partitions_counts(self):
+        gen = PartitionGeneration.from_partitions(
+            0, [records(3), records(5)], rebuilt_records=8
+        )
+        assert gen.num_partitions == 2
+        assert gen.total_records == 8
+        assert list(gen.counts) == [3, 5]
+
+    def test_append_updates_counts_and_materializes(self):
+        gen = PartitionGeneration.from_partitions(0, [records(3)], 3)
+        gen.append(0, records(2, start=100))
+        assert gen.total_records == 5
+        out = gen.partition_records(0)
+        assert len(out) == 5
+        assert out["seq_start"][-1] == 101
+
+    def test_append_empty_batch_is_a_noop(self):
+        gen = PartitionGeneration.from_partitions(0, [records(3)], 3)
+        gen.append(0, records(0))
+        assert len(gen.chunks[0]) == 1
+
+    def test_mixed_schema_chunks_refuse_to_materialize(self):
+        other = np.array([(1, 2)], dtype=[("a", "i8"), ("b", "i8")])
+        gen = PartitionGeneration.from_partitions(0, [records(3)], 3)
+        gen.append(0, other)
+        with pytest.raises(ServeError, match="mixed-schema"):
+            gen.partition_records(0)
+
+    def test_key_range_and_stats(self):
+        gen = PartitionGeneration.from_partitions(
+            0, [records(4), records(0)], 4
+        )
+        assert gen.key_range(0, "seq_size") == (40, 43)
+        assert gen.key_range(1, "seq_size") is None
+        stats = gen.stats("seq_size")
+        assert stats[0] == {"id": 0, "records": 4, "key_min": 40, "key_max": 43}
+        assert stats[1] == {"id": 1, "records": 0}
+
+
+class TestServeState:
+    def test_log_is_ground_truth(self):
+        state = ServeState()
+        state.append_log(records(10))
+        state.append_log(records(5))
+        assert state.log_records == 15
+        frozen, count = state.freeze_log()
+        state.append_log(records(1))
+        assert (len(frozen), count) == (2, 15)  # the copy pinned the prefix
+
+    def test_swap_must_advance_the_generation(self):
+        state = ServeState()
+        state.swap(PartitionGeneration.from_partitions(1, [records(1)], 1))
+        with pytest.raises(ServeError, match="must advance"):
+            state.swap(PartitionGeneration.from_partitions(1, [records(1)], 1))
+        state.swap(PartitionGeneration.from_partitions(2, [records(1)], 1))
+        assert state.current.generation == 2
+
+    def test_drift_fraction(self):
+        state = ServeState()
+        assert state.drift_fraction == 0.0
+        state.append_log(records(8))
+        state.swap(PartitionGeneration.from_partitions(1, [records(8)], 8))
+        assert state.drift_fraction == 0.0
+        state.append_log(records(2))
+        assert state.drift_fraction == pytest.approx(0.2)
